@@ -1,0 +1,403 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper (see DESIGN.md's experiment index), plus ablation benchmarks for
+// the design choices called out there. Each benchmark regenerates its
+// artifact from scratch per iteration and reports the key result values as
+// custom metrics, so `go test -bench=. -benchmem` doubles as a full
+// reproduction run.
+package faultspace_test
+
+import (
+	"testing"
+
+	"faultspace"
+	"faultspace/internal/asm"
+	"faultspace/internal/campaign"
+	"faultspace/internal/experiments"
+	"faultspace/internal/machine"
+	"faultspace/internal/metrics"
+	"faultspace/internal/progs"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// benchSizes keeps the per-iteration cost of the campaign benchmarks
+// moderate; favreport uses the full default sizes.
+var benchSizes = experiments.Figure2Config{
+	BinSemRounds: 2,
+	SyncRounds:   2,
+	SyncBufBytes: 32,
+}
+
+// BenchmarkTable1Poisson regenerates Table I: Poisson probabilities for
+// k = 0..5 independent faults per benchmark run.
+func BenchmarkTable1Poisson(b *testing.B) {
+	var lambda float64
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.Table1(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lambda = t1.Lambda
+	}
+	b.ReportMetric(lambda*1e13, "lambda-e13")
+}
+
+// BenchmarkFigure1Pruning regenerates the Figure 1 def/use pruning example
+// (108 raw coordinates collapse to 8 experiments).
+func BenchmarkFigure1Pruning(b *testing.B) {
+	var experimentsLeft int
+	for i := 0; i < b.N; i++ {
+		f1, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		experimentsLeft = f1.Experiments
+	}
+	b.ReportMetric(float64(experimentsLeft), "experiments")
+}
+
+// BenchmarkFigure3Dilution regenerates the §IV Gedankenexperiment: both
+// dilution cheats, full scans, and the invariant check (coverage inflated,
+// failures unchanged).
+func BenchmarkFigure3Dilution(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Dilution(4, faultspace.ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		gain = d.CmpDFT.CoverageGainWeighted
+	}
+	b.ReportMetric(gain, "coverage-gain-pp")
+}
+
+// BenchmarkFigure2Coverage regenerates Figure 2 panels a/b/d/e: four full
+// fault-space scans (bin_sem2/sync2 × baseline/SUM+DMR) with both
+// accounting rules.
+func BenchmarkFigure2Coverage(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		f2, err := experiments.Figure2(benchSizes, faultspace.ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = f2.Sync2.Cmp.RatioWeighted
+	}
+	b.ReportMetric(ratio, "sync2-failure-ratio")
+}
+
+// BenchmarkFigure2Runtime regenerates Figure 2g: golden-run runtime and
+// memory of all four benchmark variants (no fault injection).
+func BenchmarkFigure2Runtime(b *testing.B) {
+	specs := []progs.Spec{
+		progs.BinSem2(benchSizes.BinSemRounds),
+		progs.Sync2(benchSizes.SyncRounds, benchSizes.SyncBufBytes),
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			for _, build := range []func() (*asm.Program, error){spec.Baseline, spec.Hardened} {
+				p, err := build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := trace.Record(p.Name, machine.Config{RAMSize: p.RAMSize},
+					p.Code, p.Image, 1<<22)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += g.Cycles
+			}
+		}
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles-per-suite")
+}
+
+// BenchmarkSectionIIICPruneStats regenerates the §III-C experiment-
+// reduction statistics: raw fault-space size vs conducted experiments.
+func BenchmarkSectionIIICPruneStats(b *testing.B) {
+	p, err := progs.Sync2(benchSizes.SyncRounds, benchSizes.SyncBufBytes).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		st, err := experiments.PruneStatsFor(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = st.ReductionFactor
+	}
+	b.ReportMetric(reduction, "reduction-x")
+}
+
+// BenchmarkPitfall2Sampling contrasts the correct raw-space sampler with
+// the biased class-uniform sampler of Pitfall 2 on the same budget.
+func BenchmarkPitfall2Sampling(b *testing.B) {
+	p, err := progs.Sync2(benchSizes.SyncRounds, benchSizes.SyncBufBytes).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		biased bool
+	}{{"raw", false}, {"biased", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := faultspace.Sample(p, faultspace.SampleOptions{
+					N:      500,
+					Seed:   int64(i + 1),
+					Biased: mode.biased,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPitfall3Extrapolation regenerates the §V-C Corollary-2 table:
+// extrapolated failure counts with confidence intervals from a sampling
+// campaign, checked against the full-scan ground truth.
+func BenchmarkPitfall3Extrapolation(b *testing.B) {
+	p, err := progs.Sync2(benchSizes.SyncRounds, benchSizes.SyncBufBytes).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var estimate float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Sampling(p, 1000, int64(i+1), faultspace.ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		estimate = s.Raw.FailEstimate
+	}
+	b.ReportMetric(estimate, "extrapolated-F")
+}
+
+// BenchmarkExtensionRegisterSpace regenerates the §VI-B extension: the
+// bin_sem2 pair under the register fault model.
+func BenchmarkExtensionRegisterSpace(b *testing.B) {
+	spec := progs.BinSem2(benchSizes.BinSemRounds)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RegisterSpace(spec, faultspace.ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.Registers.RatioWeighted
+	}
+	b.ReportMetric(ratio, "register-failure-ratio")
+}
+
+// BenchmarkExtensionMultiFault regenerates the §III-A extension: the
+// 96 single-fault + 4560 double-fault enumeration on one protected word.
+func BenchmarkExtensionMultiFault(b *testing.B) {
+	var fraction float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MultiFault(faultspace.ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fraction = r.FailureFraction()
+	}
+	b.ReportMetric(100*fraction, "pair-failure-pct")
+}
+
+// BenchmarkExtensionMechanisms compares the two implemented hardening
+// mechanisms (SUM+DMR vs TMR) on one benchmark pair under the paper's
+// metric.
+func BenchmarkExtensionMechanisms(b *testing.B) {
+	specs := []progs.Spec{progs.BinSem2(benchSizes.BinSemRounds)}
+	var tmrRatio float64
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Mechanisms(specs, faultspace.ScanOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tmrRatio = m.Rows[0].TMR.RatioWeighted
+	}
+	b.ReportMetric(tmrRatio, "tmr-failure-ratio")
+}
+
+// --- Ablation benchmarks (DESIGN.md §6) ---
+
+// BenchmarkAblationSnapshotVsRerun compares the two experiment-execution
+// strategies on the same full scan: forking from snapshots at the
+// injection slot vs re-executing the golden prefix for every experiment.
+func BenchmarkAblationSnapshotVsRerun(b *testing.B) {
+	p, err := progs.BinSem2(benchSizes.BinSemRounds).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		rerun bool
+	}{{"snapshot", false}, {"rerun", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := faultspace.Scan(p, faultspace.ScanOptions{Rerun: mode.rerun}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelScan measures the scan with 1 worker vs
+// GOMAXPROCS workers.
+func BenchmarkAblationParallelScan(b *testing.B) {
+	p, err := progs.BinSem2(benchSizes.BinSemRounds).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := faultspace.Scan(p, faultspace.ScanOptions{Workers: w.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGranularity quantifies the def/use granularity choice:
+// per-bit classes (sound: outcomes can differ per bit) vs hypothetical
+// per-byte grouping (what several published tools use). It reports both
+// class counts; the per-byte variant under-counts experiments by ~8x at
+// the cost of conflating distinct outcomes.
+func BenchmarkAblationGranularity(b *testing.B) {
+	p, err := progs.Sync2(benchSizes.SyncRounds, benchSizes.SyncBufBytes).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := faultspace.Target(p)
+	golden, fs, err := t.Prepare(1 << 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var perBit, perByte int
+	for i := 0; i < b.N; i++ {
+		fs2, err := pruning.Build(golden)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perBit = len(fs2.Classes)
+		seen := make(map[[2]uint64]struct{}, len(fs2.Classes))
+		for _, c := range fs2.Classes {
+			seen[[2]uint64{c.UseCycle, c.Bit / 8}] = struct{}{}
+		}
+		perByte = len(seen)
+	}
+	_ = fs
+	b.ReportMetric(float64(perBit), "classes-per-bit")
+	b.ReportMetric(float64(perByte), "classes-per-byte")
+}
+
+// --- Component performance benchmarks ---
+
+// BenchmarkSimulatorThroughput measures raw simulator speed in
+// instructions per second on the hardened sync2 golden run.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, err := progs.Sync2(3, 64).Hardened()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{RAMSize: p.RAMSize}, p.Code, p.Image)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reset := m.Snapshot()
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		m.Restore(reset)
+		if st := m.Run(1 << 22); st != machine.StatusHalted {
+			b.Fatalf("status %v", st)
+		}
+		total += m.Cycles()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkAssembler measures assembling the full sync2 hardened source
+// (parse, harden expansion, two-pass assembly).
+func BenchmarkAssembler(b *testing.B) {
+	spec := progs.Sync2(3, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Hardened(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPruningBuild measures def/use analysis of a hardened kernel
+// golden trace.
+func BenchmarkPruningBuild(b *testing.B) {
+	p, err := progs.Sync2(3, 64).Hardened()
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := trace.Record(p.Name, machine.Config{RAMSize: p.RAMSize}, p.Code, p.Image, 1<<22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pruning.Build(golden); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentExecution measures the cost of a single fault-
+// injection experiment (snapshot restore + run to completion + classify).
+func BenchmarkExperimentExecution(b *testing.B) {
+	p, err := progs.BinSem2(2).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := faultspace.Target(p)
+	golden, fs, err := t.Prepare(1 << 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(fs.Classes) == 0 {
+		b.Fatal("no classes")
+	}
+	cls := fs.Classes[len(fs.Classes)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.RunSingle(t, golden, campaign.Config{}, cls.Slot(), cls.Bit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetrics measures the pure-math metric layer (coverage,
+// extrapolation, Poisson, Wilson) — it should be effectively free next to
+// the campaigns.
+func BenchmarkMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Coverage(48, 128); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := metrics.ExtrapolateFailures(1<<20, 37, 1000); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := metrics.PoissonPMF(1.3e-13, 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := metrics.WilsonInterval(37, 1000, metrics.Z95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

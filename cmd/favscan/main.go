@@ -1,0 +1,279 @@
+// Command favscan runs fault-injection campaigns — complete fault-space
+// scans or sampling campaigns — against the built-in benchmarks or a fav32
+// assembly file, and reports the metrics of both worlds: the (unfit)
+// fault-coverage factor and the paper's extrapolated absolute failure
+// counts.
+//
+// Usage:
+//
+//	favscan [flags] <benchmark | file.s>
+//
+// Examples:
+//
+//	favscan -variant sum+dmr bin_sem2          # full scan
+//	favscan -sample 10000 -seed 3 sync2        # correct raw sampling
+//	favscan -sample 10000 -biased sync2        # Pitfall-2 sampling
+//	favscan -csv -outcomes sync2               # per-class outcome dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"faultspace"
+	"faultspace/internal/campaign"
+	"faultspace/internal/harden"
+	"faultspace/internal/progs"
+	"faultspace/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "favscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("favscan", flag.ContinueOnError)
+	var (
+		variant  = fs.String("variant", "baseline", "baseline, sum+dmr, dft:N or dft2:N")
+		sample   = fs.Int("sample", 0, "draw N samples instead of a full scan")
+		seed     = fs.Int64("seed", 1, "PRNG seed for sampling")
+		biased   = fs.Bool("biased", false, "sample classes uniformly (Pitfall 2) instead of raw coordinates")
+		effect   = fs.Bool("effective", false, "sample the reduced population w' (Corollary 1)")
+		rerun    = fs.Bool("rerun", false, "use the rerun-from-start strategy instead of snapshot forking")
+		space    = fs.String("space", "memory", "fault space: memory or registers (§VI-B)")
+		workers  = fs.Int("workers", 0, "parallel experiment executors (0 = GOMAXPROCS)")
+		outcomes = fs.Bool("outcomes", false, "dump per-class outcomes (full scans only)")
+		saveTo   = fs.String("save", "", "write the full-scan result as a JSON archive to this file")
+		loadFrom = fs.String("load", "", "analyze a previously saved scan archive instead of scanning")
+		csv      = fs.Bool("csv", false, "emit tables as CSV")
+		binsemN  = fs.Int("binsem-rounds", 4, "bin_sem2 ping-pong rounds")
+		syncN    = fs.Int("sync-rounds", 3, "sync2 handshake rounds")
+		syncBuf  = fs.Int("sync-buf", 64, "sync2 message-buffer bytes")
+		clockN   = fs.Int("clock-ticks", 6, "clock1 timer ticks")
+		clockP   = fs.Uint64("clock-period", 64, "clock1 timer period (cycles)")
+		mboxN    = fs.Int("mbox-messages", 6, "mbox1 messages")
+		preemptN = fs.Int("preempt-work", 40, "preempt1 work units per thread")
+		preemptP = fs.Uint64("preempt-period", 48, "preempt1 timer period (cycles)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *loadFrom != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-load takes no benchmark argument")
+		}
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		scan, err := faultspace.LoadScan(f)
+		if err != nil {
+			return err
+		}
+		a, err := faultspace.Analyze(scan)
+		if err != nil {
+			return err
+		}
+		if err := printAnalysis(w, a, *csv); err != nil {
+			return err
+		}
+		if *outcomes {
+			return printOutcomes(w, scan, *csv)
+		}
+		return nil
+	}
+
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one benchmark name or assembly file")
+	}
+
+	prog, err := loadProgram(fs.Arg(0), *variant, progs.Sizes{
+		BinSemRounds:  *binsemN,
+		SyncRounds:    *syncN,
+		SyncBufBytes:  *syncBuf,
+		ClockTicks:    *clockN,
+		ClockPeriod:   *clockP,
+		MboxMessages:  *mboxN,
+		PreemptWork:   *preemptN,
+		PreemptPeriod: *preemptP,
+	})
+	if err != nil {
+		return err
+	}
+	opts := faultspace.ScanOptions{Workers: *workers, Rerun: *rerun}
+	switch *space {
+	case "memory", "mem", "":
+		opts.Space = faultspace.SpaceMemory
+	case "registers", "regs":
+		opts.Space = faultspace.SpaceRegisters
+	default:
+		return fmt.Errorf("unknown fault space %q (memory, registers)", *space)
+	}
+
+	if *sample > 0 {
+		sr, err := faultspace.Sample(prog, faultspace.SampleOptions{
+			ScanOptions: opts,
+			N:           *sample,
+			Seed:        *seed,
+			Biased:      *biased,
+			Effective:   *effect,
+		})
+		if err != nil {
+			return err
+		}
+		return printSample(w, prog.Name, sr, *csv)
+	}
+
+	scan, err := faultspace.Scan(prog, opts)
+	if err != nil {
+		return err
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			return err
+		}
+		if err := faultspace.SaveScan(f, scan); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "scan archive written to %s\n\n", *saveTo)
+	}
+	a, err := faultspace.Analyze(scan)
+	if err != nil {
+		return err
+	}
+	if err := printAnalysis(w, a, *csv); err != nil {
+		return err
+	}
+	if *outcomes {
+		return printOutcomes(w, scan, *csv)
+	}
+	return nil
+}
+
+func printAnalysis(w io.Writer, a faultspace.Analysis, csv bool) error {
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Full fault-space scan: %s [%s space]", a.Name, a.Space),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("runtime Δt (cycles)", a.RuntimeCycles)
+	tbl.AddRow("memory Δm (bits)", a.MemoryBits)
+	tbl.AddRow("fault-space size w", a.SpaceSize)
+	tbl.AddRow("experiments (def/use classes)", a.Classes)
+	tbl.AddRow("known No Effect (pruned)", a.KnownNoEffect)
+	tbl.AddRow("failures, weighted (the paper's F)", a.FailWeight)
+	tbl.AddRow("failures, unweighted classes", a.FailClasses)
+	tbl.AddRow("coverage, weighted", fmt.Sprintf("%.4f", a.CoverageWeighted))
+	tbl.AddRow("coverage, unweighted (Pitfall 1)", fmt.Sprintf("%.4f", a.CoverageUnweighted))
+	tbl.AddRow("coverage, activated-only", fmt.Sprintf("%.4f", a.CoverageActivatedOnly))
+	if csv {
+		if err := tbl.RenderCSV(w); err != nil {
+			return err
+		}
+	} else if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	out := &report.Table{
+		Title:   "Outcome distribution (weighted over the full fault space)",
+		Headers: []string{"outcome", "classes", "weighted", "share"},
+	}
+	for o := 0; o < campaign.NumOutcomes; o++ {
+		if a.WeightedCounts[o] == 0 && a.ClassCounts[o] == 0 {
+			continue
+		}
+		out.AddRow(campaign.Outcome(o).String(), a.ClassCounts[o], a.WeightedCounts[o],
+			fmt.Sprintf("%.2f%%", 100*float64(a.WeightedCounts[o])/float64(a.SpaceSize)))
+	}
+	fmt.Fprintln(w)
+	if csv {
+		return out.RenderCSV(w)
+	}
+	return out.Render(w)
+}
+
+func printSample(w io.Writer, name string, sr *campaign.SampleResult, csv bool) error {
+	tbl := &report.Table{
+		Title: fmt.Sprintf("Sampling campaign: %s (mode %s, N=%d, seed=%d)",
+			name, sr.Mode, sr.N, sr.Seed),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("population", sr.Population)
+	tbl.AddRow("experiments executed", sr.Experiments)
+	tbl.AddRow("sampled failures", sr.Failures())
+	tbl.AddRow("extrapolated failures (Corollary 2)", fmt.Sprintf("%.1f", sr.ExtrapolatedFailures()))
+	for o := 0; o < campaign.NumOutcomes; o++ {
+		if sr.Counts[o] > 0 {
+			tbl.AddRow("  "+campaign.Outcome(o).String(), sr.Counts[o])
+		}
+	}
+	if csv {
+		return tbl.RenderCSV(w)
+	}
+	return tbl.Render(w)
+}
+
+func printOutcomes(w io.Writer, scan *faultspace.ScanResult, csv bool) error {
+	tbl := &report.Table{
+		Title:   "Per-class outcomes",
+		Headers: []string{"slot", "bit", "defCycle", "weight", "outcome"},
+	}
+	for i, c := range scan.Space.Classes {
+		tbl.AddRow(c.Slot(), c.Bit, c.DefCycle, c.Weight(), scan.Outcomes[i].String())
+	}
+	fmt.Fprintln(w)
+	if csv {
+		return tbl.RenderCSV(w)
+	}
+	return tbl.Render(w)
+}
+
+// loadProgram and buildVariant mirror favsim; kept local so each tool
+// stays a single self-contained file.
+func loadProgram(arg, variant string, sizes progs.Sizes) (*faultspace.Program, error) {
+	if strings.HasSuffix(arg, ".s") || strings.HasSuffix(arg, ".asm") {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return faultspace.AssembleSource(arg, string(src))
+	}
+	spec, err := progs.Resolve(arg, sizes)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case variant == "baseline":
+		return spec.Baseline()
+	case variant == "sum+dmr" || variant == "sumdmr" || variant == "hardened":
+		return spec.Hardened()
+	case strings.HasPrefix(variant, "dft:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(variant, "dft:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad dft count: %w", err)
+		}
+		return spec.WithVariant(harden.Dilution{NOPs: n})
+	case strings.HasPrefix(variant, "dft2:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(variant, "dft2:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad dft2 count: %w", err)
+		}
+		return spec.WithVariant(harden.DilutionLoads{Loads: n, Addrs: spec.DataAddrs})
+	default:
+		return nil, fmt.Errorf("unknown variant %q (baseline, sum+dmr, dft:N, dft2:N)", variant)
+	}
+}

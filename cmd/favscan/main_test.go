@@ -1,0 +1,106 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runScan(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestFullScanHi(t *testing.T) {
+	out := runScan(t, "hi")
+	for _, want := range []string{
+		"fault-space size w", "128",
+		"failures, weighted (the paper's F)", "48",
+		"coverage, weighted", "0.6250",
+		"SDC",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOutcomeDump(t *testing.T) {
+	out := runScan(t, "-outcomes", "hi")
+	if !strings.Contains(out, "Per-class outcomes") {
+		t.Fatalf("missing outcome dump:\n%s", out)
+	}
+	// 16 classes plus headers.
+	if got := strings.Count(out, "SDC"); got < 16 {
+		t.Errorf("expected >= 16 SDC rows, got %d", got)
+	}
+}
+
+func TestSamplingModes(t *testing.T) {
+	raw := runScan(t, "-sample", "300", "-seed", "2", "hi")
+	if !strings.Contains(raw, "mode raw") || !strings.Contains(raw, "extrapolated failures") {
+		t.Errorf("raw sampling output wrong:\n%s", raw)
+	}
+	biased := runScan(t, "-sample", "300", "-biased", "hi")
+	if !strings.Contains(biased, "classes(biased)") {
+		t.Errorf("biased sampling output wrong:\n%s", biased)
+	}
+	eff := runScan(t, "-sample", "300", "-effective", "hi")
+	if !strings.Contains(eff, "mode effective") {
+		t.Errorf("effective sampling output wrong:\n%s", eff)
+	}
+}
+
+func TestRerunStrategyFlag(t *testing.T) {
+	a := runScan(t, "hi")
+	b := runScan(t, "-rerun", "hi")
+	if a != b {
+		t.Error("rerun strategy must not change scan results")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := runScan(t, "-csv", "hi")
+	if !strings.Contains(out, "metric,value") {
+		t.Errorf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestSaveAndLoadArchive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hi.scan.json")
+	saved := runScan(t, "-save", path, "hi")
+	if !strings.Contains(saved, "archive written") {
+		t.Fatalf("save output wrong:\n%s", saved)
+	}
+	loaded := runScan(t, "-load", path)
+	for _, want := range []string{"hi/baseline", "128", "48", "0.6250"} {
+		if !strings.Contains(loaded, want) {
+			t.Errorf("loaded analysis missing %q:\n%s", want, loaded)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-load", path, "hi"}, &sb); err == nil {
+		t.Error("-load with a benchmark argument must fail")
+	}
+	if err := run([]string{"-load", filepath.Join(dir, "missing.json")}, &sb); err == nil {
+		t.Error("-load of a missing file must fail")
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sample", "10", "-biased", "-effective", "hi"}, &sb); err == nil {
+		t.Error("biased+effective must fail")
+	}
+	if err := run([]string{"nonsense"}, &sb); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("missing argument must fail")
+	}
+}

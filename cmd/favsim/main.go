@@ -1,0 +1,152 @@
+// Command favsim assembles and executes fav32 programs on the
+// deterministic simulator, for debugging benchmarks and inspecting golden
+// runs.
+//
+// Usage:
+//
+//	favsim [flags] <benchmark | file.s>
+//
+// The positional argument is either a registered benchmark name (hi,
+// bin_sem2, sync2, mbox1, clock1, preempt1, sort1) or a path to a fav32
+// assembly file. Registered benchmarks can be run in any hardening
+// variant; file programs must not use pld/pst and run as-is.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"faultspace"
+	"faultspace/internal/harden"
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+	"faultspace/internal/progs"
+	"faultspace/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "favsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("favsim", flag.ContinueOnError)
+	var (
+		variant   = fs.String("variant", "baseline", "baseline, sum+dmr, dft:N or dft2:N")
+		disasm    = fs.Bool("disasm", false, "print the disassembled program before running")
+		dumpTrace = fs.Bool("trace", false, "print the memory-access trace")
+		maxCycles = fs.Uint64("max-cycles", 1<<22, "cycle budget for the run")
+		binsemN   = fs.Int("binsem-rounds", 4, "bin_sem2 ping-pong rounds")
+		syncN     = fs.Int("sync-rounds", 3, "sync2 handshake rounds")
+		syncBuf   = fs.Int("sync-buf", 64, "sync2 message-buffer bytes")
+		clockN    = fs.Int("clock-ticks", 6, "clock1 timer ticks")
+		clockP    = fs.Uint64("clock-period", 64, "clock1 timer period (cycles)")
+		mboxN     = fs.Int("mbox-messages", 6, "mbox1 messages")
+		preemptN  = fs.Int("preempt-work", 40, "preempt1 work units per thread")
+		preemptP  = fs.Uint64("preempt-period", 48, "preempt1 timer period (cycles)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one benchmark name or assembly file")
+	}
+
+	prog, err := loadProgram(fs.Arg(0), *variant, progs.Sizes{
+		BinSemRounds:  *binsemN,
+		SyncRounds:    *syncN,
+		SyncBufBytes:  *syncBuf,
+		ClockTicks:    *clockN,
+		ClockPeriod:   *clockP,
+		MboxMessages:  *mboxN,
+		PreemptWork:   *preemptN,
+		PreemptPeriod: *preemptP,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *disasm {
+		fmt.Fprintf(w, "; %s — %d instructions, %d bytes RAM, %d bytes data image\n",
+			prog.Name, len(prog.Code), prog.RAMSize, len(prog.Image))
+		fmt.Fprint(w, isa.Disassemble(prog.Code))
+		fmt.Fprintln(w)
+	}
+
+	golden, err := trace.Record(prog.Name, faultspace.MachineConfig(prog),
+		prog.Code, prog.Image, *maxCycles)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "program : %s\n", prog.Name)
+	fmt.Fprintf(w, "status  : halted\n")
+	fmt.Fprintf(w, "cycles  : %d (Δt)\n", golden.Cycles)
+	fmt.Fprintf(w, "memory  : %d bytes = %d bits (Δm)\n", prog.RAMSize, golden.RAMBits)
+	fmt.Fprintf(w, "space   : %d coordinates (w = Δt·Δm)\n", golden.SpaceSize())
+	fmt.Fprintf(w, "accesses: %d RAM accesses traced\n", len(golden.Accesses))
+	fmt.Fprintf(w, "output  : %q\n", golden.Serial)
+	if golden.Detects+golden.Corrects > 0 {
+		fmt.Fprintf(w, "signals : %d detections, %d corrections during the golden run\n",
+			golden.Detects, golden.Corrects)
+	}
+
+	if *dumpTrace {
+		fmt.Fprintln(w, "\ncycle  kind   addr  size")
+		for _, a := range golden.Accesses {
+			kind := "read "
+			if a.Kind == machine.AccessWrite {
+				kind = "write"
+			}
+			fmt.Fprintf(w, "%5d  %s  %#04x  %d\n", a.Cycle, kind, a.Addr, a.Size)
+		}
+	}
+	return nil
+}
+
+// loadProgram resolves a registered benchmark (with variant) or assembles
+// a file.
+func loadProgram(arg, variant string, sizes progs.Sizes) (*faultspace.Program, error) {
+	if strings.HasSuffix(arg, ".s") || strings.HasSuffix(arg, ".asm") {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return faultspace.AssembleSource(arg, string(src))
+	}
+	spec, err := progs.Resolve(arg, sizes)
+	if err != nil {
+		return nil, err
+	}
+	return buildVariant(spec, variant)
+}
+
+func buildVariant(spec progs.Spec, variant string) (*faultspace.Program, error) {
+	switch {
+	case variant == "baseline":
+		return spec.Baseline()
+	case variant == "sum+dmr" || variant == "sumdmr" || variant == "hardened":
+		return spec.Hardened()
+	case strings.HasPrefix(variant, "dft:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(variant, "dft:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad dft count: %w", err)
+		}
+		return spec.WithVariant(harden.Dilution{NOPs: n})
+	case strings.HasPrefix(variant, "dft2:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(variant, "dft2:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad dft2 count: %w", err)
+		}
+		return spec.WithVariant(harden.DilutionLoads{Loads: n, Addrs: spec.DataAddrs})
+	default:
+		return nil, fmt.Errorf("unknown variant %q (baseline, sum+dmr, dft:N, dft2:N)", variant)
+	}
+}

@@ -1,0 +1,62 @@
+package faultspace
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"faultspace/internal/progs"
+)
+
+// TestDiagFailureWeightByRegion is a tuning aid: it buckets weighted
+// failure counts by RAM byte address so the lifetime structure of each
+// benchmark is visible. Run with -v.
+func TestDiagFailureWeightByRegion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	specs := []progs.Spec{progs.BinSem2(4), progs.Sync2(3, 64)}
+	for _, spec := range specs {
+		for _, hardened := range []bool{false, true} {
+			p, err := spec.Baseline()
+			if hardened {
+				p, err = spec.Hardened()
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan, err := Scan(p, ScanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			byByte := map[uint32]uint64{}
+			for i, o := range scan.Outcomes {
+				if o.Benign() {
+					continue
+				}
+				c := scan.Space.Classes[i]
+				byByte[uint32(c.Bit/8)] += c.Weight()
+			}
+			// Aggregate into 32-byte buckets.
+			byBucket := map[uint32]uint64{}
+			for b, w := range byByte {
+				byBucket[b/32*32] += w
+			}
+			keys := make([]uint32, 0, len(byBucket))
+			for k := range byBucket {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			var total uint64
+			for _, w := range byBucket {
+				total += w
+			}
+			lines := ""
+			for _, k := range keys {
+				lines += fmt.Sprintf("  [%3d,%3d): %8d (%5.1f%%)\n", k, k+32, byBucket[k],
+					100*float64(byBucket[k])/float64(total))
+			}
+			t.Logf("%s (Δt=%d, failW=%d):\n%s", p.Name, scan.Golden.Cycles, total, lines)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package faultspace is a fault-injection (FI) evaluation toolkit that
+// reproduces "Avoiding Pitfalls in Fault-Injection Based Comparison of
+// Program Susceptibility to Soft Errors" (Schirmeier, Borchert, Spinczyk;
+// DSN 2015).
+//
+// It provides, end to end:
+//
+//   - a deterministic fav32 RISC simulator and assembler (the paper's
+//     machine model: in-order, one cycle per instruction, fault-immune ROM),
+//   - golden-run tracing and def/use fault-space pruning with exact
+//     per-class weights (Pitfall 1),
+//   - full fault-space scans and sampling campaigns, including the biased
+//     class-sampling procedure of Pitfall 2 for demonstration,
+//   - the metrics the paper dissects: fault coverage (weighted, unweighted,
+//     activated-only) and the proposed comparison metric — extrapolated
+//     absolute failure counts with the comparison ratio r (Pitfall 3),
+//   - software-based hardware fault-tolerance transformations: SUM+DMR
+//     hardening, plus the paper's deliberately bogus DFT/DFT′ dilution
+//     transformations for the §IV Gedankenexperiment,
+//   - ports of the paper's benchmarks: hi, bin_sem2, sync2 on a small
+//     cooperative threading kernel.
+//
+// The typical pipeline:
+//
+//	prog, _ := faultspace.AssembleSource("hi", src)
+//	scan, _ := faultspace.Scan(prog, faultspace.ScanOptions{})
+//	a := faultspace.Analyze(scan)
+//	fmt.Println(a.CoverageWeighted, a.FailWeight)
+//
+// Comparing a hardened variant against its baseline:
+//
+//	cmp := faultspace.Compare(faultspace.Analyze(base), faultspace.Analyze(hard))
+//	if cmp.RatioWeighted < 1 { /* hardening actually helps */ }
+package faultspace
+
+import (
+	"fmt"
+
+	"faultspace/internal/asm"
+	"faultspace/internal/campaign"
+	"faultspace/internal/machine"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// Program is an assembled fav32 benchmark binary.
+type Program = asm.Program
+
+// ScanResult is the outcome of a full fault-space scan.
+type ScanResult = campaign.Result
+
+// Golden is the record of a fault-free reference run.
+type Golden = trace.Golden
+
+// FaultSpace is a def/use-pruned fault space.
+type FaultSpace = pruning.FaultSpace
+
+// AssembleSource assembles fav32 assembly into a Program. Sources using
+// the pld/pst protected-access pseudo instructions must instead be built
+// through internal/progs or an explicit hardening variant.
+func AssembleSource(name, src string) (*Program, error) {
+	return asm.Assemble(name, src)
+}
+
+// SpaceKind selects which machine state faults are injected into.
+type SpaceKind = pruning.SpaceKind
+
+// Fault-space kinds.
+const (
+	// SpaceMemory is the paper's primary fault model: transient single-bit
+	// flips in main memory.
+	SpaceMemory = pruning.SpaceMemory
+	// SpaceRegisters is the §VI-B generalization: flips in the CPU
+	// register file.
+	SpaceRegisters = pruning.SpaceRegisters
+)
+
+// ScanOptions parameterizes Scan.
+type ScanOptions struct {
+	// TimeoutFactor bounds experiment runtime as a multiple of the golden
+	// runtime (default 4).
+	TimeoutFactor float64
+	// Workers is the number of parallel experiment executors (default:
+	// GOMAXPROCS).
+	Workers int
+	// Rerun forces the naive rerun-from-start execution strategy instead
+	// of snapshot forking.
+	Rerun bool
+	// MaxGoldenCycles bounds the golden run (default 1<<22).
+	MaxGoldenCycles uint64
+	// Space selects the fault space (default SpaceMemory).
+	Space SpaceKind
+}
+
+// DefaultMaxGoldenCycles bounds golden runs when ScanOptions leaves
+// MaxGoldenCycles zero.
+const DefaultMaxGoldenCycles = 1 << 22
+
+func (o ScanOptions) campaignConfig() campaign.Config {
+	cfg := campaign.Config{
+		TimeoutFactor: o.TimeoutFactor,
+		Workers:       o.Workers,
+	}
+	if o.Rerun {
+		cfg.Strategy = campaign.StrategyRerun
+	}
+	return cfg
+}
+
+func (o ScanOptions) maxGolden() uint64 {
+	if o.MaxGoldenCycles == 0 {
+		return DefaultMaxGoldenCycles
+	}
+	return o.MaxGoldenCycles
+}
+
+func (o ScanOptions) space() SpaceKind {
+	if o.Space == 0 {
+		return SpaceMemory
+	}
+	return o.Space
+}
+
+// MachineConfig derives the simulator configuration of a program.
+func MachineConfig(p *Program) machine.Config {
+	return machine.Config{
+		RAMSize:     p.RAMSize,
+		TimerPeriod: p.TimerPeriod,
+		TimerVector: p.TimerVector,
+	}
+}
+
+// Target builds the campaign target for a program.
+func Target(p *Program) campaign.Target {
+	return campaign.Target{
+		Name:  p.Name,
+		Code:  p.Code,
+		Image: p.Image,
+		Mach:  MachineConfig(p),
+	}
+}
+
+// Scan records the golden run of the program, prunes its fault space and
+// performs a complete fault-space scan: one experiment per def/use
+// equivalence class.
+func Scan(p *Program, opts ScanOptions) (*ScanResult, error) {
+	t := Target(p)
+	golden, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	res, err := campaign.FullScan(t, golden, fs, opts.campaignConfig())
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	return res, nil
+}
+
+// SampleOptions parameterizes Sample.
+type SampleOptions struct {
+	ScanOptions
+	// N is the number of samples to draw (required).
+	N int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Biased draws equivalence classes uniformly instead of raw fault-space
+	// coordinates — the statistically wrong procedure of Pitfall 2.
+	Biased bool
+	// Effective samples only the reduced population w′ (excluding
+	// known-No-Effect coordinates, §V-C Corollary 1).
+	Effective bool
+}
+
+// Sample runs a sampling campaign over the program's fault space.
+func Sample(p *Program, opts SampleOptions) (*campaign.SampleResult, error) {
+	t := Target(p)
+	golden, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	mode := campaign.SampleRaw
+	switch {
+	case opts.Biased && opts.Effective:
+		return nil, fmt.Errorf("faultspace: Biased and Effective sampling are mutually exclusive")
+	case opts.Biased:
+		mode = campaign.SampleClasses
+	case opts.Effective:
+		mode = campaign.SampleEffective
+	}
+	sr, err := campaign.SampleScan(t, golden, fs, opts.campaignConfig(), mode, opts.N, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	return sr, nil
+}

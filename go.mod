@@ -1,0 +1,3 @@
+module faultspace
+
+go 1.22

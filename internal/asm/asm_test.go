@@ -1,0 +1,409 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"faultspace/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	p := mustAssemble(t, "halt\n")
+	if len(p.Code) != 1 || p.Code[0].Op != isa.OpHalt {
+		t.Fatalf("got %v", p.Code)
+	}
+	if p.RAMSize != DefaultRAMSize {
+		t.Errorf("RAMSize = %d, want default %d", p.RAMSize, DefaultRAMSize)
+	}
+}
+
+func TestAssembleEveryFormat(t *testing.T) {
+	p := mustAssemble(t, `
+        .ram    64
+start:  nop
+        li      r1, -2
+        mov     r2, r1
+        add     r3, r1, r2
+        addi    r3, r3, 0x10
+        lw      r4, 8(r14)
+        lb      r5, 9(sp)
+        sw      r4, 12(r0)
+        sb      r5, 13(r0)
+        swi     -1, 16(r0)
+        sbi     'x', 20(r0)
+        beq     r1, r2, start
+        bne     r1, r2, start
+        blt     r1, r2, start
+        bge     r1, r2, start
+        bltu    r1, r2, start
+        bgeu    r1, r2, start
+        jmp     start
+        jal     start
+        jr      lr
+        jalr    r1, r2
+        halt
+`)
+	wantOps := []isa.Op{
+		isa.OpNop, isa.OpLi, isa.OpMov, isa.OpAdd, isa.OpAddi,
+		isa.OpLw, isa.OpLb, isa.OpSw, isa.OpSb, isa.OpSwi, isa.OpSbi,
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu,
+		isa.OpJmp, isa.OpJal, isa.OpJr, isa.OpJalr, isa.OpHalt,
+	}
+	if len(p.Code) != len(wantOps) {
+		t.Fatalf("got %d instructions, want %d", len(p.Code), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.Code[i].Op != op {
+			t.Errorf("instr %d: op = %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+	// Spot-check operands.
+	if p.Code[1].Imm != -2 {
+		t.Error("li immediate wrong")
+	}
+	if p.Code[5].Rs != isa.RegSP || p.Code[5].Imm != 8 {
+		t.Errorf("lw operands wrong: %+v", p.Code[5])
+	}
+	if p.Code[6].Rs != isa.RegSP {
+		t.Error("sp alias not resolved")
+	}
+	if p.Code[9].Imm2 != -1 || p.Code[9].Imm != 16 {
+		t.Errorf("swi operands wrong: %+v", p.Code[9])
+	}
+	if p.Code[10].Imm2 != 'x' {
+		t.Error("sbi char literal wrong")
+	}
+	if p.Code[11].Imm != 0 {
+		t.Errorf("branch target = %d, want 0 (label start)", p.Code[11].Imm)
+	}
+	if p.Code[19].Rs != isa.RegLR {
+		t.Error("lr alias not resolved")
+	}
+}
+
+func TestPseudoAliases(t *testing.T) {
+	p := mustAssemble(t, `
+f:      inc     r1
+        dec     r2
+        not     r3, r4
+        bgt     r1, r2, f
+        ble     r1, r2, f
+        bgtu    r1, r2, f
+        bleu    r1, r2, f
+        call    f
+        ret
+        halt
+`)
+	checks := []struct {
+		i    int
+		op   isa.Op
+		desc string
+		ok   func(ins isa.Instruction) bool
+	}{
+		{0, isa.OpAddi, "inc", func(i isa.Instruction) bool { return i.Rd == 1 && i.Rs == 1 && i.Imm == 1 }},
+		{1, isa.OpAddi, "dec", func(i isa.Instruction) bool { return i.Rd == 2 && i.Imm == -1 }},
+		{2, isa.OpXori, "not", func(i isa.Instruction) bool { return i.Rd == 3 && i.Rs == 4 && i.Imm == -1 }},
+		{3, isa.OpBlt, "bgt swaps", func(i isa.Instruction) bool { return i.Rs == 2 && i.Rt == 1 }},
+		{4, isa.OpBge, "ble swaps", func(i isa.Instruction) bool { return i.Rs == 2 && i.Rt == 1 }},
+		{5, isa.OpBltu, "bgtu swaps", func(i isa.Instruction) bool { return i.Rs == 2 && i.Rt == 1 }},
+		{6, isa.OpBgeu, "bleu swaps", func(i isa.Instruction) bool { return i.Rs == 2 && i.Rt == 1 }},
+		{7, isa.OpJal, "call", func(i isa.Instruction) bool { return i.Imm == 0 }},
+		{8, isa.OpJr, "ret", func(i isa.Instruction) bool { return i.Rs == isa.RegLR }},
+	}
+	for _, c := range checks {
+		ins := p.Code[c.i]
+		if ins.Op != c.op || !c.ok(ins) {
+			t.Errorf("%s: got %v", c.desc, ins)
+		}
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	p := mustAssemble(t, `
+        .ram    64
+        .data
+a:      .word   0x11223344, -1
+b:      .byte   1, 2, 3
+        .align  4
+c:      .word   a+4
+        .org    0x20
+d:      .space  8
+        .text
+        lw      r1, a(r0)
+        halt
+`)
+	if got := p.Symbols["a"]; got != 0 {
+		t.Errorf("a = %d, want 0", got)
+	}
+	if got := p.Symbols["b"]; got != 8 {
+		t.Errorf("b = %d, want 8", got)
+	}
+	if got := p.Symbols["c"]; got != 12 {
+		t.Errorf("c = %d, want 12 (aligned)", got)
+	}
+	if got := p.Symbols["d"]; got != 0x20 {
+		t.Errorf("d = %#x, want 0x20", got)
+	}
+	if len(p.Image) != 0x28 {
+		t.Errorf("image length = %d, want 40", len(p.Image))
+	}
+	// Little-endian word 0x11223344 at 0.
+	if p.Image[0] != 0x44 || p.Image[3] != 0x11 {
+		t.Errorf("word bytes = % x", p.Image[0:4])
+	}
+	if p.Image[4] != 0xff || p.Image[7] != 0xff {
+		t.Error(".word -1 must be all ones")
+	}
+	if p.Image[8] != 1 || p.Image[9] != 2 || p.Image[10] != 3 {
+		t.Error(".byte values wrong")
+	}
+	if p.Image[12] != 4 { // c: .word a+4 = 4
+		t.Errorf("c word = %d, want 4", p.Image[12])
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	p := mustAssemble(t, `
+        .equ    BASE, 0x100
+        .equ    SIZE, 8*4
+        .equ    END, BASE + SIZE - 1
+        .equ    MASK, ~0xff & 0xffff
+        .equ    SHIFTED, 1 << 4 | 1
+        .ram    BASE + SIZE
+        li      r1, END
+        li      r2, MASK
+        li      r3, SHIFTED
+        li      r4, (2+3)*4
+        li      r5, 100/7
+        li      r6, 100%7
+        li      r7, -BASE
+        halt
+`)
+	want := map[int]int32{
+		0: 0x11f,
+		1: 0xff00,
+		2: 17,
+		3: 20,
+		4: 14,
+		5: 2,
+		6: -0x100,
+	}
+	for i, w := range want {
+		if p.Code[i].Imm != w {
+			t.Errorf("instr %d imm = %d, want %d", i, p.Code[i].Imm, w)
+		}
+	}
+	if p.RAMSize != 0x120 {
+		t.Errorf("RAMSize = %d, want %d", p.RAMSize, 0x120)
+	}
+}
+
+func TestCommentsAndCharLiterals(t *testing.T) {
+	p := mustAssemble(t, `
+        li r1, ';'      ; semicolon literal must survive comments
+        li r2, '#'      # hash comment style
+        li r3, '\n'
+        li r4, '\''
+        li r5, '\\'
+        li r6, '\0'
+        halt
+`)
+	want := []int32{';', '#', '\n', '\'', '\\', 0}
+	for i, w := range want {
+		if p.Code[i].Imm != w {
+			t.Errorf("instr %d imm = %d, want %d", i, p.Code[i].Imm, w)
+		}
+	}
+}
+
+func TestNumberFormats(t *testing.T) {
+	p := mustAssemble(t, `
+        li r1, 0x10
+        li r2, 0b101
+        li r3, 1_000
+        li r4, 0xDEAD_BEEF
+        halt
+`)
+	deadbeef := uint32(0xDEAD_BEEF)
+	want := []int32{16, 5, 1000, int32(deadbeef)}
+	for i, w := range want {
+		if p.Code[i].Imm != w {
+			t.Errorf("instr %d imm = %d, want %d", i, p.Code[i].Imm, w)
+		}
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	p := mustAssemble(t, `
+        .equ OFF, 12
+        lw r1, (r2)
+        lw r1, 4(r2)
+        lw r1, OFF(r2)
+        lw r1, OFF+4(r2)
+        lw r1, (OFF+4)*2(r2)
+        halt
+`)
+	want := []int32{0, 4, 12, 16, 32}
+	for i, w := range want {
+		if p.Code[i].Imm != w || p.Code[i].Rs != 2 {
+			t.Errorf("instr %d: imm=%d rs=%d, want imm=%d rs=2", i, p.Code[i].Imm, p.Code[i].Rs, w)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown-mnemonic", "frob r1\n halt", "unknown mnemonic"},
+		{"unknown-directive", ".frob 1\n halt", "unknown directive"},
+		{"unknown-register", "li rx, 1\n halt", "unknown register"},
+		{"register-out-of-range", "li r16, 1\n halt", "unknown register"},
+		{"undefined-symbol", "li r1, NOPE\n halt", "undefined symbol"},
+		{"duplicate-label", "a: nop\na: halt", "redefined"},
+		{"duplicate-equ", ".equ X, 1\n.equ X, 2\n halt", "redefined"},
+		{"branch-out-of-range", "beq r1, r2, 99\n halt", "target"},
+		{"missing-comma", "add r1 r2, r3\n halt", "comma"},
+		{"trailing-tokens", "nop nop\n halt", "trailing"},
+		{"imm2-overflow", "swi 5000, 0(r0)\n halt", "12 bits"},
+		{"word-unaligned", ".data\n.byte 1\n.word 2\n.text\n halt", "unaligned"},
+		{"space-negative", ".data\n.space 0-1\n.text\n halt", "out of range"},
+		{"align-not-pow2", ".data\n.align 3\n.text\n halt", "power of two"},
+		{"data-outside-section", ".word 1\n halt", "outside .data"},
+		{"ram-too-small", ".ram 4\n.data\n.space 8\n.text\n halt", "exceeds RAM"},
+		{"empty-program", "; nothing\n", "no instructions"},
+		{"pseudo-not-expanded", "pld r1, 0(r2)\n halt", "not expanded"},
+		{"bad-char", "li r1, @\n halt", "unexpected character"},
+		{"division-by-zero", "li r1, 1/0\n halt", "division by zero"},
+		{"unterminated-char", "li r1, 'a\n halt", "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("bad", tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestMultipleErrorsReported(t *testing.T) {
+	_, err := Assemble("bad", "frob r1\nfrob r2\n halt")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if strings.Count(err.Error(), "unknown mnemonic") != 2 {
+		t.Errorf("expected both errors reported, got: %v", err)
+	}
+}
+
+func TestLabelOnlyLineAndAttachedLabels(t *testing.T) {
+	p := mustAssemble(t, `
+start:
+        nop
+loop:   jmp loop
+        halt
+`)
+	if p.Symbols["start"] != 0 {
+		t.Errorf("start = %d, want 0", p.Symbols["start"])
+	}
+	if p.Symbols["loop"] != 1 {
+		t.Errorf("loop = %d, want 1", p.Symbols["loop"])
+	}
+	if p.Code[1].Imm != 1 {
+		t.Error("jmp loop should target instruction 1")
+	}
+}
+
+func TestLinesTracksSource(t *testing.T) {
+	p := mustAssemble(t, "nop\nnop\n\nhalt\n")
+	if len(p.Lines) != 3 {
+		t.Fatalf("lines = %v", p.Lines)
+	}
+	if p.Lines[0] != 1 || p.Lines[1] != 2 || p.Lines[2] != 4 {
+		t.Errorf("lines = %v, want [1 2 4]", p.Lines)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	p := mustAssemble(t, `
+        jmp end
+        .data
+ptr:    .word end
+        .text
+end:    halt
+`)
+	if p.Code[0].Imm != 1 {
+		t.Errorf("forward jmp target = %d, want 1", p.Code[0].Imm)
+	}
+	if p.Image[0] != 1 {
+		t.Errorf("data forward ref = %d, want 1", p.Image[0])
+	}
+}
+
+func TestTimerDirective(t *testing.T) {
+	p := mustAssemble(t, `
+        .timer  64, isr
+        nop
+        halt
+isr:    sret
+`)
+	if p.TimerPeriod != 64 {
+		t.Errorf("period = %d, want 64", p.TimerPeriod)
+	}
+	if p.TimerVector != 2 {
+		t.Errorf("vector = %d, want 2 (label isr)", p.TimerVector)
+	}
+
+	noTimer := mustAssemble(t, "halt\n")
+	if noTimer.TimerPeriod != 0 {
+		t.Error("programs without .timer must have period 0")
+	}
+
+	bad := []struct{ name, src string }{
+		{"zero-period", ".timer 0, h\nh: halt"},
+		{"negative-period", ".timer 0-5, h\nh: halt"},
+		{"vector-out-of-range", ".timer 4, 99\n halt"},
+		{"missing-arg", ".timer 4\n halt"},
+		{"undefined-handler", ".timer 4, nowhere\n halt"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Assemble("bad", tc.src); err == nil {
+				t.Errorf("source %q must be rejected", tc.src)
+			}
+		})
+	}
+}
+
+func TestSretMnemonic(t *testing.T) {
+	p := mustAssemble(t, "sret\nhalt\n")
+	if p.Code[0].Op != isa.OpSret {
+		t.Errorf("op = %v, want sret", p.Code[0].Op)
+	}
+}
+
+func TestStmtIsPseudo(t *testing.T) {
+	stmts, err := Parse("pld r1, 0(r2)\npst r1, 0(r2)\npchk\nlw r1, 0(r2)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true, false}
+	for i, w := range want {
+		if stmts[i].IsPseudo() != w {
+			t.Errorf("stmt %d IsPseudo = %v, want %v", i, stmts[i].IsPseudo(), w)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary text through the full parse+assemble
+// pipeline; the assembler must reject garbage with errors, never panic,
+// and any program it accepts must be structurally valid.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt\n",
+		"li r1, 'H'\nsb r1, 0x10000(r0)\nhalt\n",
+		".ram 64\n.equ X, 1<<4\n.data\nv: .word X, -1\n.text\nlw r1, v(r0)\nhalt\n",
+		".timer 64, isr\nnop\nhalt\nisr: sret\n",
+		"loop: addi r1, r1, 1\nbne r1, r2, loop\nhalt\n",
+		"pld r1, 0(r2)\npst r1, 0(r2)\npchk\n",
+		"; comment with 'quote\n# another\nli r3, ';'\nhalt",
+		".data\n.org 8\n.space 4\n.align 4\n.byte 1,2,3\n.text\nret\n",
+		"call f\nhalt\nf: inc r4\nnot r5, r4\nbgt r4, r5, f\nret\n",
+		"li r1, 0xDEAD_BEEF % 7 + (3*4)\nhalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(p.Code) == 0 {
+			t.Fatal("accepted program without instructions")
+		}
+		for i, ins := range p.Code {
+			if verr := ins.Validate(); verr != nil {
+				t.Fatalf("instruction %d invalid after successful assembly: %v", i, verr)
+			}
+		}
+		if len(p.Image) > p.RAMSize {
+			t.Fatalf("image %d exceeds RAM %d", len(p.Image), p.RAMSize)
+		}
+		// The disassembly of accepted code must not contain the fallback
+		// verbose form (it would mean an instruction the toolchain cannot
+		// render).
+		for _, ins := range p.Code {
+			if strings.Contains(ins.String(), "rd=") {
+				t.Fatalf("unrenderable instruction accepted: %v", ins)
+			}
+		}
+	})
+}
+
+// FuzzParseNumber exercises the numeric literal parser.
+func FuzzParseNumber(f *testing.F) {
+	for _, s := range []string{"0", "42", "0x1F", "0b101", "1_000", "0xDEAD_BEEF", "-7", "0x", "0b2"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = parseNumber(s) // must not panic
+	})
+}

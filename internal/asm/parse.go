@@ -1,0 +1,457 @@
+package asm
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"faultspace/internal/isa"
+)
+
+// StmtKind classifies parsed statements.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	StmtEmpty StmtKind = iota + 1 // label-only or blank line
+	StmtInstr                     // machine instruction or pld/pst pseudo
+	StmtDir                       // directive (.word, .byte, .space, ...)
+	StmtEqu                       // .equ NAME, expr
+)
+
+// OperandKind classifies instruction operands.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OperandReg  OperandKind = iota + 1 // register
+	OperandExpr                        // immediate / branch target expression
+	OperandMem                         // offset(base) memory reference
+)
+
+// Operand is one parsed instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  uint8 // register number (OperandReg) or base register (OperandMem)
+	Expr Expr  // immediate (OperandExpr) or offset (OperandMem)
+}
+
+// Names of the protected-access pseudo instructions understood by the
+// parser and expanded by internal/harden.
+const (
+	PseudoPLoad  = "pld"  // pld rd, off(rs): protected word load
+	PseudoPStore = "pst"  // pst rt, off(rs): protected word store
+	PseudoPCheck = "pchk" // pchk: verify/scrub the whole protected region
+)
+
+// Stmt is one parsed assembly statement.
+type Stmt struct {
+	Pos     Pos
+	Label   string // label defined at this statement, or ""
+	Kind    StmtKind
+	Name    string // mnemonic (StmtInstr) or directive name (StmtDir/StmtEqu)
+	Ops     []Operand
+	Exprs   []Expr // directive arguments
+	EquName string // symbol defined by .equ
+}
+
+// IsPseudo reports whether the statement is a protected-access pseudo
+// instruction that internal/harden must expand before assembly.
+func (s Stmt) IsPseudo() bool {
+	return s.Kind == StmtInstr &&
+		(s.Name == PseudoPLoad || s.Name == PseudoPStore || s.Name == PseudoPCheck)
+}
+
+// Parse parses assembly source into statements. It accumulates diagnostics
+// and returns them joined, so several errors surface in one run.
+func Parse(src string) ([]Stmt, error) {
+	var (
+		stmts []Stmt
+		errs  []error
+	)
+	lines := strings.Split(src, "\n")
+	for li, raw := range lines {
+		pos := Pos{Line: li + 1}
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		toks, err := lexLine(pos, line)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		st, err := parseStmt(pos, toks)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if st.Kind == StmtEmpty && st.Label == "" {
+			continue
+		}
+		stmts = append(stmts, st)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return stmts, nil
+}
+
+// stripComment removes ';' and '#' comments, ignoring comment characters
+// inside character literals.
+func stripComment(line string) string {
+	inChar := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inChar:
+			if c == '\\' {
+				i++ // skip escaped char
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '\'':
+			inChar = true
+		case c == ';' || c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func parseStmt(pos Pos, toks []token) (Stmt, error) {
+	p := &exprParser{pos: pos, toks: toks}
+	st := Stmt{Pos: pos, Kind: StmtEmpty}
+
+	// Optional label: IDENT ':'
+	if p.peek().kind == tokIdent && !strings.HasPrefix(p.peek().text, ".") {
+		mark := p.save()
+		name := p.next().text
+		if p.acceptPunct(":") {
+			st.Label = name
+		} else {
+			p.restore(mark)
+		}
+	}
+	if p.atEnd() {
+		return st, nil
+	}
+
+	head := p.peek()
+	if head.kind != tokIdent {
+		return st, errf(pos, "expected mnemonic or directive, found %q", head.text)
+	}
+	p.next()
+	name := strings.ToLower(head.text)
+
+	if strings.HasPrefix(name, ".") {
+		return parseDirective(pos, p, st, name)
+	}
+	return parseInstr(pos, p, st, name)
+}
+
+func parseDirective(pos Pos, p *exprParser, st Stmt, name string) (Stmt, error) {
+	st.Name = name
+	switch name {
+	case ".equ":
+		st.Kind = StmtEqu
+		if p.peek().kind != tokIdent {
+			return st, errf(pos, ".equ: expected symbol name")
+		}
+		sym := p.next().text
+		if !p.acceptPunct(",") {
+			return st, errf(pos, ".equ: expected comma after name")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return st, err
+		}
+		st.Exprs = []Expr{e}
+		st.EquName = sym
+	case ".text", ".data":
+		st.Kind = StmtDir
+	case ".word", ".byte", ".space", ".org", ".align", ".ram", ".timer":
+		st.Kind = StmtDir
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return st, err
+			}
+			st.Exprs = append(st.Exprs, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	case ".ascii":
+		return st, errf(pos, ".ascii is not supported; use .byte with character literals")
+	default:
+		return st, errf(pos, "unknown directive %q", name)
+	}
+	if !p.atEnd() {
+		return st, errf(pos, "trailing tokens after %s", name)
+	}
+	return st, nil
+}
+
+// instrFormat describes the operand shape of a mnemonic.
+type instrFormat uint8
+
+const (
+	fmtNone   instrFormat = iota + 1 // nop, halt
+	fmtR3                            // add rd, rs, rt
+	fmtRI                            // addi rd, rs, imm
+	fmtLI                            // li rd, imm
+	fmtMov                           // mov rd, rs
+	fmtLoad                          // lw rd, off(rs)
+	fmtStore                         // sw rt, off(rs)
+	fmtStoreI                        // swi imm2, off(rs)
+	fmtBranch                        // beq rs, rt, target
+	fmtJump                          // jmp target
+	fmtJr                            // jr rs
+	fmtJalr                          // jalr rd, rs
+	fmtRd                            // rdspc rd
+)
+
+var formats = map[string]instrFormat{
+	"nop": fmtNone, "halt": fmtNone, "sret": fmtNone,
+	"rdspc": fmtRd, "wrspc": fmtJr,
+	"li": fmtLI, "mov": fmtMov,
+	"add": fmtR3, "sub": fmtR3, "and": fmtR3, "or": fmtR3, "xor": fmtR3,
+	"shl": fmtR3, "shr": fmtR3, "sar": fmtR3, "mul": fmtR3, "slt": fmtR3, "sltu": fmtR3,
+	"addi": fmtRI, "andi": fmtRI, "ori": fmtRI, "xori": fmtRI,
+	"shli": fmtRI, "shri": fmtRI, "slti": fmtRI,
+	"lw": fmtLoad, "lb": fmtLoad,
+	"sw": fmtStore, "sb": fmtStore,
+	"swi": fmtStoreI, "sbi": fmtStoreI,
+	"beq": fmtBranch, "bne": fmtBranch, "blt": fmtBranch, "bge": fmtBranch,
+	"bltu": fmtBranch, "bgeu": fmtBranch,
+	"jmp": fmtJump, "jal": fmtJump,
+	"jr": fmtJr, "jalr": fmtJalr,
+	// Protected-access pseudo instructions (expanded by internal/harden).
+	PseudoPLoad: fmtLoad, PseudoPStore: fmtStore, PseudoPCheck: fmtNone,
+}
+
+// Pure-alias pseudo mnemonics rewritten during parsing.
+var aliases = map[string]struct {
+	name string
+	swap bool // swap first two operands (for bgt/ble style aliases)
+}{
+	"call": {name: "jal"},
+	"bgt":  {name: "blt", swap: true},
+	"ble":  {name: "bge", swap: true},
+	"bgtu": {name: "bltu", swap: true},
+	"bleu": {name: "bgeu", swap: true},
+}
+
+func parseInstr(pos Pos, p *exprParser, st Stmt, name string) (Stmt, error) {
+	st.Kind = StmtInstr
+
+	if alias, ok := aliases[name]; ok {
+		st2, err := parseByFormat(pos, p, st, alias.name, formats[alias.name])
+		if err != nil {
+			return st2, err
+		}
+		if alias.swap {
+			st2.Ops[0], st2.Ops[1] = st2.Ops[1], st2.Ops[0]
+		}
+		return st2, nil
+	}
+
+	// Multi-token conveniences.
+	switch name {
+	case "ret": // jr r15
+		st.Name = "jr"
+		st.Ops = []Operand{{Kind: OperandReg, Reg: isa.RegLR}}
+		if !p.atEnd() {
+			return st, errf(pos, "ret takes no operands")
+		}
+		return st, nil
+	case "inc", "dec": // addi rd, rd, ±1
+		r, err := parseReg(pos, p)
+		if err != nil {
+			return st, err
+		}
+		delta := int64(1)
+		if name == "dec" {
+			delta = -1
+		}
+		st.Name = "addi"
+		st.Ops = []Operand{
+			{Kind: OperandReg, Reg: r},
+			{Kind: OperandReg, Reg: r},
+			{Kind: OperandExpr, Expr: NumExpr{Value: delta}},
+		}
+		if !p.atEnd() {
+			return st, errf(pos, "%s takes one register operand", name)
+		}
+		return st, nil
+	case "not": // xori rd, rs, -1
+		rd, err := parseReg(pos, p)
+		if err != nil {
+			return st, err
+		}
+		if !p.acceptPunct(",") {
+			return st, errf(pos, "not: expected comma")
+		}
+		rs, err := parseReg(pos, p)
+		if err != nil {
+			return st, err
+		}
+		st.Name = "xori"
+		st.Ops = []Operand{
+			{Kind: OperandReg, Reg: rd},
+			{Kind: OperandReg, Reg: rs},
+			{Kind: OperandExpr, Expr: NumExpr{Value: -1}},
+		}
+		if !p.atEnd() {
+			return st, errf(pos, "not takes two register operands")
+		}
+		return st, nil
+	}
+
+	f, ok := formats[name]
+	if !ok {
+		return st, errf(pos, "unknown mnemonic %q", name)
+	}
+	return parseByFormat(pos, p, st, name, f)
+}
+
+func parseByFormat(pos Pos, p *exprParser, st Stmt, name string, f instrFormat) (Stmt, error) {
+	st.Name = name
+	var err error
+	switch f {
+	case fmtNone:
+		// no operands
+	case fmtR3:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandReg, OperandReg)
+	case fmtRI:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandReg, OperandExpr)
+	case fmtLI:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandExpr)
+	case fmtMov:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandReg)
+	case fmtLoad, fmtStore:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandMem)
+	case fmtStoreI:
+		st.Ops, err = parseOperands(pos, p, OperandExpr, OperandMem)
+	case fmtBranch:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandReg, OperandExpr)
+	case fmtJump:
+		st.Ops, err = parseOperands(pos, p, OperandExpr)
+	case fmtJr, fmtRd:
+		st.Ops, err = parseOperands(pos, p, OperandReg)
+	case fmtJalr:
+		st.Ops, err = parseOperands(pos, p, OperandReg, OperandReg)
+	default:
+		err = errf(pos, "internal: unknown format for %q", name)
+	}
+	if err != nil {
+		return st, err
+	}
+	if !p.atEnd() {
+		return st, errf(pos, "trailing tokens after %s operands", name)
+	}
+	return st, nil
+}
+
+func parseOperands(pos Pos, p *exprParser, kinds ...OperandKind) ([]Operand, error) {
+	ops := make([]Operand, 0, len(kinds))
+	for i, k := range kinds {
+		if i > 0 && !p.acceptPunct(",") {
+			return nil, errf(pos, "expected comma before operand %d", i+1)
+		}
+		var (
+			op  Operand
+			err error
+		)
+		switch k {
+		case OperandReg:
+			op.Kind = OperandReg
+			op.Reg, err = parseReg(pos, p)
+		case OperandExpr:
+			op.Kind = OperandExpr
+			op.Expr, err = p.parseExpr()
+		case OperandMem:
+			op, err = parseMem(pos, p)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// regAliases maps register alias names to numbers.
+var regAliases = map[string]uint8{
+	"zero": isa.RegZero,
+	"fp":   isa.RegFP,
+	"sp":   isa.RegSP,
+	"lr":   isa.RegLR,
+}
+
+func regByName(name string) (uint8, bool) {
+	if r, ok := regAliases[strings.ToLower(name)]; ok {
+		return r, true
+	}
+	low := strings.ToLower(name)
+	if len(low) >= 2 && low[0] == 'r' {
+		n, err := strconv.Atoi(low[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(pos Pos, p *exprParser) (uint8, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return 0, errf(pos, "expected register, found %q", t.text)
+	}
+	r, ok := regByName(t.text)
+	if !ok {
+		return 0, errf(pos, "unknown register %q", t.text)
+	}
+	p.next()
+	return r, nil
+}
+
+// parseMem parses "off(base)" or "(base)" (offset 0).
+func parseMem(pos Pos, p *exprParser) (Operand, error) {
+	op := Operand{Kind: OperandMem, Expr: NumExpr{Value: 0}}
+
+	// Bare "(base)" form: a parenthesized register, not an expression.
+	if p.peek().kind == tokPunct && p.peek().text == "(" {
+		mark := p.save()
+		p.next()
+		if t := p.peek(); t.kind == tokIdent {
+			if r, ok := regByName(t.text); ok {
+				p.next()
+				if p.acceptPunct(")") {
+					op.Reg = r
+					return op, nil
+				}
+			}
+		}
+		p.restore(mark)
+	}
+
+	e, err := p.parseExpr()
+	if err != nil {
+		return op, err
+	}
+	op.Expr = e
+	if !p.acceptPunct("(") {
+		return op, errf(pos, "expected '(base)' in memory operand")
+	}
+	r, err := parseReg(pos, p)
+	if err != nil {
+		return op, err
+	}
+	if !p.acceptPunct(")") {
+		return op, errf(pos, "expected ')' in memory operand")
+	}
+	op.Reg = r
+	return op, nil
+}

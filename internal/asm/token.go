@@ -1,0 +1,211 @@
+// Package asm implements the fav32 two-pass assembler.
+//
+// The assembler turns textual assembly into an asm.Program: a slice of
+// decoded isa.Instructions (the ROM) plus an initial RAM image (the data
+// section). Code labels resolve to instruction indices, data labels to RAM
+// byte addresses, and .equ symbols to arbitrary constants. Pseudo
+// instructions for protected data accesses (pld/pst) are parsed but must be
+// expanded by internal/harden before final assembly.
+//
+// Syntax overview:
+//
+//	; line comment (also: # comment)
+//	        .ram    512             ; RAM size for this program (bytes)
+//	        .equ    GREET, 'H'      ; constant definition
+//	        .data                   ; switch to data section
+//	buf:    .space  32              ; reserve zeroed bytes
+//	val:    .word   1, 2, 3         ; emit little-endian words
+//	        .byte   0xff            ; emit bytes
+//	        .align  4
+//	        .org    0x40            ; set data location counter
+//	        .text                   ; switch to code section (default)
+//	start:  li      r1, GREET
+//	        sw      r1, val(r0)     ; symbolic offsets are expressions
+//	        beq     r1, r0, start
+//	        call    func            ; pseudo for jal
+//	        halt
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos locates a statement in the concatenated source.
+type Pos struct {
+	Line int // 1-based line number
+}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Pos.Line, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single punctuation rune: ( ) + - * / % & | ^ ~ , :
+	tokShl   // <<
+	tokShr   // >>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tokNumber
+}
+
+// lexLine splits one source line (comment already stripped) into tokens.
+func lexLine(pos Pos, line string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(line) && isIdentPart(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(line) && (isIdentPart(line[j])) {
+				j++
+			}
+			v, err := parseNumber(line[i:j])
+			if err != nil {
+				return nil, errf(pos, "bad number %q: %v", line[i:j], err)
+			}
+			toks = append(toks, token{kind: tokNumber, text: line[i:j], val: v})
+			i = j
+		case c == '\'':
+			v, n, err := parseCharLit(line[i:])
+			if err != nil {
+				return nil, errf(pos, "%v", err)
+			}
+			toks = append(toks, token{kind: tokNumber, text: line[i : i+n], val: v})
+			i += n
+		case c == '<' && i+1 < len(line) && line[i+1] == '<':
+			toks = append(toks, token{kind: tokShl, text: "<<"})
+			i += 2
+		case c == '>' && i+1 < len(line) && line[i+1] == '>':
+			toks = append(toks, token{kind: tokShr, text: ">>"})
+			i += 2
+		case strings.ContainsRune("()+-*/%&|^~,:", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c)})
+			i++
+		default:
+			return nil, errf(pos, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func parseNumber(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var (
+		v    int64
+		base int64 = 10
+	)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base = 16
+		s = s[2:]
+	} else if strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B") {
+		base = 2
+		s = s[2:]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("empty digits")
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' {
+			continue
+		}
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		if d >= base {
+			return 0, fmt.Errorf("digit %q out of range for base %d", c, base)
+		}
+		v = v*base + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseCharLit parses a character literal starting at s[0] == '\”. It
+// returns the value, the number of bytes consumed, and an error.
+func parseCharLit(s string) (int64, int, error) {
+	if len(s) < 3 {
+		return 0, 0, fmt.Errorf("unterminated character literal")
+	}
+	if s[1] == '\\' {
+		if len(s) < 4 || s[3] != '\'' {
+			return 0, 0, fmt.Errorf("bad escaped character literal")
+		}
+		var v byte
+		switch s[2] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return 0, 0, fmt.Errorf("unknown escape \\%c", s[2])
+		}
+		return int64(v), 4, nil
+	}
+	if s[2] != '\'' {
+		return 0, 0, fmt.Errorf("unterminated character literal")
+	}
+	return int64(s[1]), 3, nil
+}

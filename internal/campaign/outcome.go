@@ -1,0 +1,112 @@
+// Package campaign executes fault-injection campaigns: full fault-space
+// scans over def/use equivalence classes and sampling campaigns, with
+// experiment outcomes classified against a golden run.
+//
+// It is the FAIL*-shaped engine of this reproduction: deterministic,
+// repeatable experiments with full controllability of where and when the
+// fault is injected (§I of the paper).
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+
+	"faultspace/internal/machine"
+	"faultspace/internal/trace"
+)
+
+// Outcome is the experiment-outcome type of one fault-injection run.
+// The set mirrors the eight outcome types of the paper's data set (§II-D):
+// two benign types and six failure modes.
+type Outcome uint8
+
+// Experiment outcomes.
+const (
+	// OutcomeNoEffect: the run behaved exactly like the golden run.
+	OutcomeNoEffect Outcome = iota
+	// OutcomeDetectedCorrected: output identical to the golden run and a
+	// fault-tolerance mechanism signalled a detection/correction. Benign.
+	OutcomeDetectedCorrected
+	// OutcomeSDC: silent data corruption — the run terminated normally but
+	// its output differs from the golden run.
+	OutcomeSDC
+	// OutcomeTimeout: the run exceeded its cycle budget.
+	OutcomeTimeout
+	// OutcomeCPUException: a memory-related CPU exception (out-of-range or
+	// misaligned access, load from an MMIO port).
+	OutcomeCPUException
+	// OutcomeIllegalInstruction: control flow escaped the program (bad PC)
+	// or an invalid opcode was executed.
+	OutcomeIllegalInstruction
+	// OutcomeDetectedUnrecoverable: a fault-tolerance mechanism detected an
+	// unrecoverable error and shut the system down (store to PortAbort).
+	OutcomeDetectedUnrecoverable
+	// OutcomePrematureHalt: the run halted with a strict prefix of the
+	// golden output — it terminated too early.
+	OutcomePrematureHalt
+
+	// NumOutcomes is the number of outcome types.
+	NumOutcomes = int(OutcomePrematureHalt) + 1
+)
+
+var outcomeNames = [NumOutcomes]string{
+	"No Effect",
+	"Detected & Corrected",
+	"SDC",
+	"Timeout",
+	"CPU Exception",
+	"Illegal Instruction",
+	"Detected Unrecoverable",
+	"Premature Halt",
+}
+
+// String returns the outcome name as used in reports.
+func (o Outcome) String() string {
+	if int(o) < NumOutcomes {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Benign reports whether the outcome has no externally visible effect.
+// Benign outcomes coalesce into "No Effect" and the remaining six into
+// "Failure" for the paper's two-way analysis (§II-D).
+func (o Outcome) Benign() bool {
+	return o == OutcomeNoEffect || o == OutcomeDetectedCorrected
+}
+
+// classify maps a finished experiment machine to an outcome.
+func classify(m *machine.Machine, golden *trace.Golden) Outcome {
+	switch m.Status() {
+	case machine.StatusRunning:
+		return OutcomeTimeout
+	case machine.StatusAborted:
+		return OutcomeDetectedUnrecoverable
+	case machine.StatusExcepted:
+		switch m.Exception() {
+		case machine.ExcIllegalOp, machine.ExcBadPC:
+			return OutcomeIllegalInstruction
+		case machine.ExcSerialLimit:
+			// The run flooded the serial port; its output necessarily
+			// diverged from the golden run.
+			return OutcomeSDC
+		default:
+			return OutcomeCPUException
+		}
+	case machine.StatusHalted:
+		serial := m.Serial()
+		if bytes.Equal(serial, golden.Serial) {
+			if m.CorrectCount() > golden.Corrects || m.DetectCount() > golden.Detects {
+				return OutcomeDetectedCorrected
+			}
+			return OutcomeNoEffect
+		}
+		if len(serial) < len(golden.Serial) && bytes.HasPrefix(golden.Serial, serial) {
+			return OutcomePrematureHalt
+		}
+		return OutcomeSDC
+	default:
+		// Unreachable with a correct machine; classify conservatively.
+		return OutcomeSDC
+	}
+}

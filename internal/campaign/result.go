@@ -1,0 +1,71 @@
+package campaign
+
+// ClassCounts returns the number of equivalence classes per outcome —
+// the "unweighted result accounting" that Pitfall 1 warns about when fed
+// into coverage formulas.
+func (r *Result) ClassCounts() [NumOutcomes]uint64 {
+	var counts [NumOutcomes]uint64
+	for _, o := range r.Outcomes {
+		counts[o]++
+	}
+	return counts
+}
+
+// WeightedCounts returns, per outcome, the total fault-space weight of the
+// classes with that outcome: every experiment result expanded to the size
+// of its equivalence class (the correct accounting per Pitfall 1).
+// Known-No-Effect coordinates are NOT included; add SpaceKnownNoEffect for
+// the full-space view.
+func (r *Result) WeightedCounts() [NumOutcomes]uint64 {
+	var counts [NumOutcomes]uint64
+	for i, o := range r.Outcomes {
+		counts[o] += r.Space.Classes[i].Weight()
+	}
+	return counts
+}
+
+// FullSpaceCounts returns per-outcome weighted counts over the complete
+// raw fault space: class weights plus the a-priori-known "No Effect"
+// coordinates folded into OutcomeNoEffect. The counts sum to w = Δt·Δm.
+func (r *Result) FullSpaceCounts() [NumOutcomes]uint64 {
+	counts := r.WeightedCounts()
+	counts[OutcomeNoEffect] += r.Space.KnownNoEffect
+	return counts
+}
+
+// FailureClasses returns the number of classes with a non-benign outcome
+// (the raw "F" a naive unweighted analysis would report).
+func (r *Result) FailureClasses() uint64 {
+	var n uint64
+	for _, o := range r.Outcomes {
+		if !o.Benign() {
+			n++
+		}
+	}
+	return n
+}
+
+// FailureWeight returns the total fault-space weight of non-benign
+// outcomes: the extrapolated absolute failure count F of §V — the paper's
+// proposed comparison metric. P(Failure) ∝ FailureWeight (Equation 6).
+func (r *Result) FailureWeight() uint64 {
+	var n uint64
+	for i, o := range r.Outcomes {
+		if !o.Benign() {
+			n += r.Space.Classes[i].Weight()
+		}
+	}
+	return n
+}
+
+// BenignWeight returns the weighted count of benign outcomes among the
+// conducted experiments (excluding known-No-Effect coordinates).
+func (r *Result) BenignWeight() uint64 {
+	var n uint64
+	for i, o := range r.Outcomes {
+		if o.Benign() {
+			n += r.Space.Classes[i].Weight()
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// SampleMode selects what population a sampling campaign draws from.
+type SampleMode uint8
+
+// Sampling modes.
+const (
+	// SampleRaw draws (slot, bit) coordinates uniformly from the raw,
+	// unpruned fault space of size w = Δt·Δm — the statistically correct
+	// procedure (§III-E). Coordinates falling into known-No-Effect regions
+	// are counted as "No Effect" without running an experiment; coordinates
+	// falling into an equivalence class reuse a cached class outcome.
+	SampleRaw SampleMode = iota + 1
+
+	// SampleEffective draws uniformly from the reduced population
+	// w′ = w − knownNoEffect (§V-C, Corollary 1): sampling from
+	// known-No-Effect regions is pointless for failure estimation, so the
+	// sampler rejects such coordinates. Extrapolation must then use w′.
+	SampleEffective
+
+	// SampleClasses draws equivalence *classes* uniformly — the biased
+	// procedure of Pitfall 2. Every class is equally likely regardless of
+	// its weight, so the estimate is skewed by exactly the correlation
+	// between class size and outcome that Pitfall 1 describes.
+	SampleClasses
+)
+
+// String returns the mode name.
+func (m SampleMode) String() string {
+	switch m {
+	case SampleRaw:
+		return "raw"
+	case SampleEffective:
+		return "effective"
+	case SampleClasses:
+		return "classes(biased)"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// SampleResult is the outcome of a sampling campaign.
+type SampleResult struct {
+	Mode SampleMode
+	N    int   // number of samples drawn
+	Seed int64 // PRNG seed, for reproducibility
+
+	// Counts is the per-outcome count over the N draws. Draws sharing an
+	// equivalence class all count (one experiment, many samples).
+	Counts [NumOutcomes]uint64
+
+	// Population is the size of the population sampled from: w for
+	// SampleRaw, w′ for SampleEffective, the class count for SampleClasses.
+	// Extrapolated counts are Counts[o]/N × Population (§V-C, Corollary 2).
+	Population uint64
+
+	// Experiments is the number of fault-injection runs actually executed
+	// (unique equivalence classes hit).
+	Experiments int
+}
+
+// Failures returns the number of non-benign draws.
+func (sr *SampleResult) Failures() uint64 {
+	var n uint64
+	for o := 0; o < NumOutcomes; o++ {
+		if !Outcome(o).Benign() {
+			n += sr.Counts[o]
+		}
+	}
+	return n
+}
+
+// ExtrapolatedFailures extrapolates the sampled failure count to the
+// population size (Pitfall 3, Corollary 2): F_extrapolated = pop·F_s/N_s.
+func (sr *SampleResult) ExtrapolatedFailures() float64 {
+	if sr.N == 0 {
+		return 0
+	}
+	return float64(sr.Population) * float64(sr.Failures()) / float64(sr.N)
+}
+
+// SampleScan runs a sampling campaign of n draws with the given mode and
+// deterministic seed.
+func SampleScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, mode SampleMode, n int, seed int64) (*SampleResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("campaign: sample size %d must be positive", n)
+	}
+	if fs.Cycles == 0 || fs.Bits == 0 {
+		return nil, fmt.Errorf("campaign: empty fault space")
+	}
+
+	sr := &SampleResult{Mode: mode, N: n, Seed: seed}
+	switch mode {
+	case SampleRaw:
+		sr.Population = fs.Size()
+	case SampleEffective:
+		sr.Population = fs.ExperimentWeight()
+		if sr.Population == 0 {
+			return nil, fmt.Errorf("campaign: no effective population (all coordinates known No Effect)")
+		}
+	case SampleClasses:
+		sr.Population = uint64(len(fs.Classes))
+		if len(fs.Classes) == 0 {
+			return nil, fmt.Errorf("campaign: no equivalence classes to sample")
+		}
+	default:
+		return nil, fmt.Errorf("campaign: unknown sample mode %d", mode)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	budget := cfg.timeoutBudget(golden.Cycles)
+	m, err := t.newMachine()
+	if err != nil {
+		return nil, err
+	}
+	reset := m.Snapshot()
+	cache := make(map[int]Outcome)
+
+	flip := flipFor(fs.Kind)
+	runClass := func(ci int) (Outcome, error) {
+		if o, ok := cache[ci]; ok {
+			return o, nil
+		}
+		m.Restore(reset)
+		c := fs.Classes[ci]
+		o, err := runFromReset(m, golden, c.Slot(), c.Bit, budget, flip)
+		if err != nil {
+			return 0, err
+		}
+		cache[ci] = o
+		return o, nil
+	}
+
+	for i := 0; i < n; i++ {
+		var (
+			o   Outcome
+			err error
+		)
+		switch mode {
+		case SampleClasses:
+			o, err = runClass(rng.Intn(len(fs.Classes)))
+		case SampleRaw:
+			slot := uint64(rng.Int63n(int64(fs.Cycles))) + 1
+			bit := uint64(rng.Int63n(int64(fs.Bits)))
+			ci, inClass, lerr := fs.Locate(slot, bit)
+			if lerr != nil {
+				return nil, lerr
+			}
+			if !inClass {
+				o = OutcomeNoEffect
+			} else {
+				o, err = runClass(ci)
+			}
+		case SampleEffective:
+			// Rejection-sample the raw space until a coordinate lands in an
+			// equivalence class; this draws uniformly from w′.
+			for {
+				slot := uint64(rng.Int63n(int64(fs.Cycles))) + 1
+				bit := uint64(rng.Int63n(int64(fs.Bits)))
+				ci, inClass, lerr := fs.Locate(slot, bit)
+				if lerr != nil {
+					return nil, lerr
+				}
+				if !inClass {
+					continue
+				}
+				o, err = runClass(ci)
+				break
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		sr.Counts[o]++
+	}
+	sr.Experiments = len(cache)
+	return sr, nil
+}

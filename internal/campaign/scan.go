@@ -1,0 +1,237 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"faultspace/internal/machine"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// Result holds the outcome of a full fault-space scan: one classified
+// outcome per def/use equivalence class.
+type Result struct {
+	Target Target
+	Golden *trace.Golden
+	Space  *pruning.FaultSpace
+	// Outcomes is parallel to Space.Classes.
+	Outcomes []Outcome
+}
+
+// FullScan runs one fault-injection experiment per equivalence class of the
+// pruned fault space and classifies every outcome. The scan is exhaustive:
+// together with the a-priori-known "No Effect" coordinates the result
+// determines the outcome of every coordinate of the raw fault space.
+func FullScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Target:   t,
+		Golden:   golden,
+		Space:    fs,
+		Outcomes: make([]Outcome, len(fs.Classes)),
+	}
+	if len(fs.Classes) == 0 {
+		return res, nil
+	}
+	var err error
+	switch cfg.Strategy {
+	case StrategySnapshot:
+		err = scanSnapshot(t, golden, fs, cfg, res.Outcomes)
+	case StrategyRerun:
+		err = scanRerun(t, golden, fs, cfg, res.Outcomes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// slotGroup is the unit of work handed to scan workers: all classes whose
+// representative injection slot is the same, plus the machine state right
+// before that slot.
+type slotGroup struct {
+	snap    *machine.Snapshot
+	classes []int // indices into fs.Classes
+}
+
+// flipFunc injects one single-bit fault into a machine.
+type flipFunc func(*machine.Machine, uint64) error
+
+// flipFor selects the injection primitive for a fault-space kind.
+func flipFor(kind pruning.SpaceKind) flipFunc {
+	if kind == pruning.SpaceRegisters {
+		return (*machine.Machine).FlipRegBit
+	}
+	return (*machine.Machine).FlipBit
+}
+
+func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, out []Outcome) error {
+	budget := cfg.timeoutBudget(golden.Cycles)
+	flip := flipFor(fs.Kind)
+
+	pioneer, err := t.newMachine()
+	if err != nil {
+		return err
+	}
+
+	groups := make(chan slotGroup)
+	errCh := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		worker, err := t.newMachine()
+		if err != nil {
+			close(groups)
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range groups {
+				for _, ci := range g.classes {
+					worker.Restore(g.snap)
+					if err := flip(worker, fs.Classes[ci].Bit); err != nil {
+						errCh <- err
+						return
+					}
+					worker.Run(budget)
+					out[ci] = classify(worker, golden)
+				}
+			}
+		}()
+	}
+
+	// Walk classes grouped by slot, advancing the pioneer to slot-1 cycles
+	// before snapshotting. Classes are sorted by (Slot, Bit).
+	feed := func() error {
+		for i := 0; i < len(fs.Classes); {
+			slot := fs.Classes[i].Slot()
+			j := i
+			for j < len(fs.Classes) && fs.Classes[j].Slot() == slot {
+				j++
+			}
+			if pioneer.Cycles() < slot-1 {
+				if st := pioneer.Run(slot - 1); st != machine.StatusRunning {
+					return fmt.Errorf("campaign: golden replay ended early at cycle %d (status %s), slot %d",
+						pioneer.Cycles(), st, slot)
+				}
+			}
+			idxs := make([]int, 0, j-i)
+			for k := i; k < j; k++ {
+				idxs = append(idxs, k)
+			}
+			select {
+			case err := <-errCh:
+				return err
+			case groups <- slotGroup{snap: pioneer.Snapshot(), classes: idxs}:
+			}
+			i = j
+		}
+		return nil
+	}
+	ferr := feed()
+	close(groups)
+	wg.Wait()
+	if ferr != nil {
+		return ferr
+	}
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
+func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, out []Outcome) error {
+	budget := cfg.timeoutBudget(golden.Cycles)
+	flip := flipFor(fs.Kind)
+
+	work := make(chan int)
+	errCh := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		worker, err := t.newMachine()
+		if err != nil {
+			close(work)
+			return err
+		}
+		reset := worker.Snapshot()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				worker.Restore(reset)
+				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, flip)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				out[ci] = o
+			}
+		}()
+	}
+	var ferr error
+feed:
+	for ci := range fs.Classes {
+		select {
+		case ferr = <-errCh:
+			break feed
+		case work <- ci:
+		}
+	}
+	close(work)
+	wg.Wait()
+	if ferr != nil {
+		return ferr
+	}
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
+// runFromReset drives a reset-state machine through one experiment:
+// replay the golden prefix to just before `slot`, inject via flip at
+// `bit`, run to termination (or the cycle budget) and classify.
+func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget uint64, flip flipFunc) (Outcome, error) {
+	if slot > 0 {
+		if st := m.Run(slot - 1); slot-1 > 0 && st != machine.StatusRunning {
+			return 0, fmt.Errorf("campaign: golden replay ended early at cycle %d (status %s), slot %d",
+				m.Cycles(), st, slot)
+		}
+	}
+	if err := flip(m, bit); err != nil {
+		return 0, err
+	}
+	m.Run(budget)
+	return classify(m, golden), nil
+}
+
+// RunSingle executes exactly one memory fault-injection experiment at the
+// raw fault-space coordinate (slot, bit), starting from the reset state.
+// It is the brute-force path used by validation tests and the sampler.
+func RunSingle(t Target, golden *trace.Golden, cfg Config, slot, bit uint64) (Outcome, error) {
+	return RunSingleSpace(t, golden, cfg, pruning.SpaceMemory, slot, bit)
+}
+
+// RunSingleSpace is RunSingle for an arbitrary fault-space kind.
+func RunSingleSpace(t Target, golden *trace.Golden, cfg Config, kind pruning.SpaceKind, slot, bit uint64) (Outcome, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if slot == 0 || slot > golden.Cycles {
+		return 0, fmt.Errorf("campaign: slot %d outside [1, %d]", slot, golden.Cycles)
+	}
+	m, err := t.newMachine()
+	if err != nil {
+		return 0, err
+	}
+	return runFromReset(m, golden, slot, bit, cfg.timeoutBudget(golden.Cycles), flipFor(kind))
+}

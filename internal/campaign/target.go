@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// Target is a benchmark binary prepared for fault injection.
+type Target struct {
+	Name  string
+	Code  []isa.Instruction
+	Image []byte // initial RAM contents
+	Mach  machine.Config
+}
+
+// Strategy selects how experiments re-reach the injection slot.
+type Strategy uint8
+
+// Experiment-execution strategies.
+const (
+	// StrategySnapshot advances a single pioneer machine through the golden
+	// run and forks experiment machines at each injection slot. Each
+	// experiment only executes the cycles after the injection. Default.
+	StrategySnapshot Strategy = iota + 1
+	// StrategyRerun re-executes each experiment from the reset state. This
+	// is the naive mode, kept for validation and for the ablation benchmark.
+	StrategyRerun
+)
+
+// Config parameterizes campaign execution.
+type Config struct {
+	// TimeoutFactor bounds experiment runtime: an experiment is declared a
+	// Timeout after TimeoutFactor × golden-runtime + TimeoutSlack cycles.
+	// 0 means DefaultTimeoutFactor.
+	TimeoutFactor float64
+	// TimeoutSlack is a constant cycle allowance added on top (covers
+	// correction slow paths of very short benchmarks). 0 means
+	// DefaultTimeoutSlack.
+	TimeoutSlack uint64
+	// Workers is the number of parallel experiment executors.
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Strategy selects the execution strategy. 0 means StrategySnapshot.
+	Strategy Strategy
+}
+
+// Defaults for Config.
+const (
+	DefaultTimeoutFactor = 4.0
+	DefaultTimeoutSlack  = 256
+)
+
+func (c Config) withDefaults() Config {
+	if c.TimeoutFactor == 0 {
+		c.TimeoutFactor = DefaultTimeoutFactor
+	}
+	if c.TimeoutSlack == 0 {
+		c.TimeoutSlack = DefaultTimeoutSlack
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Strategy == 0 {
+		c.Strategy = StrategySnapshot
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.TimeoutFactor < 1 {
+		return fmt.Errorf("campaign: TimeoutFactor %g must be >= 1", c.TimeoutFactor)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("campaign: Workers %d must be >= 1", c.Workers)
+	}
+	if c.Strategy != StrategySnapshot && c.Strategy != StrategyRerun {
+		return fmt.Errorf("campaign: unknown strategy %d", c.Strategy)
+	}
+	return nil
+}
+
+// timeoutBudget computes the per-experiment cycle budget.
+func (c Config) timeoutBudget(goldenCycles uint64) uint64 {
+	return uint64(c.TimeoutFactor*float64(goldenCycles)) + c.TimeoutSlack
+}
+
+// Prepare records the golden run of the target and builds its pruned
+// main-memory fault space. maxGoldenCycles bounds the golden run itself
+// (pass a generous value; the golden run must terminate).
+func (t Target) Prepare(maxGoldenCycles uint64) (*trace.Golden, *pruning.FaultSpace, error) {
+	return t.PrepareSpace(pruning.SpaceMemory, maxGoldenCycles)
+}
+
+// PrepareSpace is Prepare for an arbitrary fault-space kind.
+func (t Target) PrepareSpace(kind pruning.SpaceKind, maxGoldenCycles uint64) (*trace.Golden, *pruning.FaultSpace, error) {
+	golden, err := trace.Record(t.Name, t.Mach, t.Code, t.Image, maxGoldenCycles)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fs *pruning.FaultSpace
+	switch kind {
+	case pruning.SpaceMemory:
+		fs, err = pruning.Build(golden)
+	case pruning.SpaceRegisters:
+		fs, err = pruning.BuildRegisters(golden)
+	default:
+		return nil, nil, fmt.Errorf("campaign: unknown fault-space kind %d", kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return golden, fs, nil
+}
+
+// newMachine builds a fresh reset-state machine for the target.
+func (t Target) newMachine() (*machine.Machine, error) {
+	return machine.New(t.Mach, t.Code, t.Image)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"faultspace"
+	"faultspace/internal/progs"
+)
+
+// Pair is one benchmark's baseline/hardened scan pair with its comparison.
+type Pair struct {
+	Name     string
+	Baseline VariantAnalysis
+	Hardened VariantAnalysis
+	Cmp      faultspace.Comparison
+}
+
+// Figure2Result aggregates the Figure 2 reproduction: full fault-space
+// scans of bin_sem2 and sync2 in baseline and SUM+DMR-hardened variants.
+// From it every panel of the figure follows:
+//
+//	2a  unweighted fault coverage     (Analysis.CoverageUnweighted)
+//	2b  weighted fault coverage       (Analysis.CoverageWeighted)
+//	2d  unweighted failure counts     (Analysis.FailClasses)
+//	2e  weighted failure counts       (Analysis.FailWeight)
+//	2g  runtime and memory usage      (Analysis.RuntimeCycles, RAMBytes)
+type Figure2Result struct {
+	BinSem2 Pair
+	Sync2   Pair
+}
+
+// Figure2Config sizes the benchmark workloads.
+type Figure2Config struct {
+	// BinSemRounds is the number of bin_sem2 ping-pong rounds (default 4).
+	BinSemRounds int
+	// SyncRounds is the number of sync2 handshakes (default 3).
+	SyncRounds int
+	// SyncBufBytes is sync2's unprotected message-buffer size (default 64).
+	SyncBufBytes int
+}
+
+func (c Figure2Config) withDefaults() Figure2Config {
+	if c.BinSemRounds == 0 {
+		c.BinSemRounds = 4
+	}
+	if c.SyncRounds == 0 {
+		c.SyncRounds = 3
+	}
+	if c.SyncBufBytes == 0 {
+		c.SyncBufBytes = 64
+	}
+	return c
+}
+
+// Figure2 runs the four full fault-space scans behind Figure 2.
+func Figure2(cfg Figure2Config, opts faultspace.ScanOptions) (*Figure2Result, error) {
+	cfg = cfg.withDefaults()
+	var (
+		r   Figure2Result
+		err error
+	)
+	if r.BinSem2, err = runPair(progs.BinSem2(cfg.BinSemRounds), opts); err != nil {
+		return nil, err
+	}
+	if r.Sync2, err = runPair(progs.Sync2(cfg.SyncRounds, cfg.SyncBufBytes), opts); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func runPair(spec progs.Spec, opts faultspace.ScanOptions) (Pair, error) {
+	p := Pair{Name: spec.Name}
+	base, err := spec.Baseline()
+	if err != nil {
+		return p, err
+	}
+	hard, err := spec.Hardened()
+	if err != nil {
+		return p, err
+	}
+	if p.Baseline, err = scanVariant(base, opts); err != nil {
+		return p, err
+	}
+	if p.Hardened, err = scanVariant(hard, opts); err != nil {
+		return p, err
+	}
+	if p.Cmp, err = faultspace.Compare(p.Baseline.Analysis, p.Hardened.Analysis); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// PruneStats reports the §III-C experiment-reduction numbers for one
+// benchmark variant: raw fault-space size w versus conducted experiments.
+type PruneStats struct {
+	Name            string
+	SpaceSize       uint64
+	Experiments     uint64
+	KnownNoEffect   uint64
+	ReductionFactor float64
+}
+
+// PruneStatsFor computes pruning statistics for a program.
+func PruneStatsFor(p *faultspace.Program) (PruneStats, error) {
+	t := faultspace.Target(p)
+	_, fs, err := t.Prepare(faultspace.DefaultMaxGoldenCycles)
+	if err != nil {
+		return PruneStats{}, err
+	}
+	return PruneStats{
+		Name:            p.Name,
+		SpaceSize:       fs.Size(),
+		Experiments:     uint64(len(fs.Classes)),
+		KnownNoEffect:   fs.KnownNoEffect,
+		ReductionFactor: fs.ReductionFactor(),
+	}, nil
+}

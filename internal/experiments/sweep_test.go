@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"faultspace"
+	"faultspace/internal/progs"
+)
+
+func TestSweepSync2Buffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs several full scans")
+	}
+	s, err := SweepSync2Buffer(2, []int{4, 32, 96}, faultspace.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(s.Points))
+	}
+	// The damage must scale monotonically with the unprotected buffer's
+	// share of the fault space.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Cmp.RatioWeighted <= s.Points[i-1].Cmp.RatioWeighted {
+			t.Errorf("ratio not increasing: buf %d -> %.3f, buf %d -> %.3f",
+				s.Points[i-1].BufBytes, s.Points[i-1].Cmp.RatioWeighted,
+				s.Points[i].BufBytes, s.Points[i].Cmp.RatioWeighted)
+		}
+	}
+	// Coverage claims an improvement at every point (the §V-B trap).
+	for _, p := range s.Points {
+		if !p.Cmp.CoverageSaysImproved() {
+			t.Errorf("buf %d: coverage gain %.2f should be positive",
+				p.BufBytes, p.Cmp.CoverageGainWeighted)
+		}
+	}
+	if s.CrossoverBufBytes() != 4 {
+		t.Errorf("crossover = %d, want 4 (sync2 loses everywhere)", s.CrossoverBufBytes())
+	}
+}
+
+func TestRegisterSpaceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full scans")
+	}
+	r, err := RegisterSpace(progs.BinSem2(2), faultspace.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Memory.FailuresSayImproved() {
+		t.Errorf("memory model: bin_sem2 hardening must help (r = %.3f)", r.Memory.RatioWeighted)
+	}
+	if r.Registers.FailuresSayImproved() {
+		t.Errorf("register model: hardening must hurt (r = %.3f)", r.Registers.RatioWeighted)
+	}
+	if r.Memory.Baseline.Space != faultspace.SpaceMemory ||
+		r.Registers.Baseline.Space != faultspace.SpaceRegisters {
+		t.Error("space kinds not propagated into analyses")
+	}
+}

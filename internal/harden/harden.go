@@ -1,0 +1,144 @@
+// Package harden implements software-based hardware fault-tolerance
+// transformations applied to fav32 assembly at the statement level.
+//
+// Two kinds of transformations exist:
+//
+//   - Real mechanisms: SumDMR expands the pld/pst protected-access pseudo
+//     instructions into duplication-plus-checksum sequences with
+//     detect-and-correct semantics, modelled after the "SUM+DMR" mechanism
+//     the paper's data set uses ([8] in the paper). Baseline expands the
+//     same pseudos into plain loads/stores, so baseline and hardened
+//     variants come from identical sources.
+//
+//   - Benchmarking cheats: Dilution ("DFT") prepends NOPs and DilutionLoads
+//     ("DFT′") prepends dummy loads — the deliberately ineffective
+//     transformations of the paper's §IV Gedankenexperiment, which inflate
+//     the fault-coverage metric without reducing failures.
+//
+// All transformations consume and produce []asm.Stmt, between asm.Parse and
+// asm.AssembleStmts.
+package harden
+
+import (
+	"fmt"
+
+	"faultspace/internal/asm"
+)
+
+// Variant is a program transformation.
+type Variant interface {
+	// Name identifies the variant in reports (e.g. "baseline", "sum+dmr").
+	Name() string
+	// Apply transforms the parsed program. Implementations must not mutate
+	// the input slice.
+	Apply(stmts []asm.Stmt) ([]asm.Stmt, error)
+}
+
+// Chain composes variants left to right.
+func Chain(vs ...Variant) Variant { return chain(vs) }
+
+type chain []Variant
+
+func (c chain) Name() string {
+	name := ""
+	for i, v := range c {
+		if i > 0 {
+			name += "+"
+		}
+		name += v.Name()
+	}
+	return name
+}
+
+func (c chain) Apply(stmts []asm.Stmt) ([]asm.Stmt, error) {
+	var err error
+	for _, v := range c {
+		stmts, err = v.Apply(stmts)
+		if err != nil {
+			return nil, fmt.Errorf("harden: %s: %w", v.Name(), err)
+		}
+	}
+	return stmts, nil
+}
+
+// Baseline expands protected accesses into plain word loads and stores.
+type Baseline struct{}
+
+// Name implements Variant.
+func (Baseline) Name() string { return "baseline" }
+
+// Apply implements Variant.
+func (Baseline) Apply(stmts []asm.Stmt) ([]asm.Stmt, error) {
+	out := make([]asm.Stmt, 0, len(stmts))
+	for _, st := range stmts {
+		if st.IsPseudo() {
+			switch st.Name {
+			case asm.PseudoPLoad:
+				plain := st
+				plain.Name = "lw"
+				out = append(out, plain)
+			case asm.PseudoPStore:
+				plain := st
+				plain.Name = "sw"
+				out = append(out, plain)
+			case asm.PseudoPCheck:
+				// The baseline has no redundancy to verify: the check
+				// disappears entirely (zero cycles). A label attached to
+				// it must survive.
+				if st.Label != "" {
+					out = append(out, labelStmt(st.Pos, st.Label))
+				}
+			}
+			continue
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// instr builds an instruction statement at pos.
+func instr(pos asm.Pos, name string, ops ...asm.Operand) asm.Stmt {
+	return asm.Stmt{Pos: pos, Kind: asm.StmtInstr, Name: name, Ops: ops}
+}
+
+func regOp(r uint8) asm.Operand {
+	return asm.Operand{Kind: asm.OperandReg, Reg: r}
+}
+
+func exprOp(e asm.Expr) asm.Operand {
+	return asm.Operand{Kind: asm.OperandExpr, Expr: e}
+}
+
+func numOp(v int64) asm.Operand {
+	return exprOp(asm.NumExpr{Value: v})
+}
+
+func memOp(base uint8, off asm.Expr) asm.Operand {
+	return asm.Operand{Kind: asm.OperandMem, Reg: base, Expr: off}
+}
+
+func labelStmt(pos asm.Pos, name string) asm.Stmt {
+	return asm.Stmt{Pos: pos, Kind: asm.StmtEmpty, Label: name}
+}
+
+// firstCodeIndex returns the index of the first instruction statement, or
+// len(stmts) when the program has no code.
+func firstCodeIndex(stmts []asm.Stmt) int {
+	for i, st := range stmts {
+		if st.Kind == asm.StmtInstr {
+			return i
+		}
+	}
+	return len(stmts)
+}
+
+// addOff shifts a memory-offset expression by delta bytes.
+func addOff(e asm.Expr, delta int64) asm.Expr {
+	if delta == 0 {
+		return e
+	}
+	if n, ok := e.(asm.NumExpr); ok {
+		return asm.NumExpr{Value: n.Value + delta}
+	}
+	return asm.BinExpr{Op: "+", X: e, Y: asm.NumExpr{Value: delta}}
+}

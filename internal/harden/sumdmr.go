@@ -1,0 +1,212 @@
+package harden
+
+import (
+	"fmt"
+
+	"faultspace/internal/asm"
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+)
+
+// SumDMR expands protected accesses (pld/pst) into a duplication-plus-
+// checksum scheme modelled after the "SUM+DMR" mechanism of the paper's
+// data set: every protected word lives three times in memory —
+//
+//	primary  at  addr
+//	replica  at  addr + ReplicaOffset
+//	checksum at  addr + CheckOffset   (one's complement of the value)
+//
+// A protected store writes all three. A protected load compares primary
+// and replica; on mismatch it votes using the checksum, repairs the losing
+// copy, refreshes the checksum, and signals "detected & corrected" on the
+// machine's correction port. Any single-bit flip in any of the three words
+// between a protected store (or load) and the next protected load is
+// thereby detected and corrected — the property the DMR correctness tests
+// verify.
+//
+// Registers isa.RegScratch1/2 are clobbered by the expansions; programs
+// using pld/pst must treat them as reserved.
+type SumDMR struct {
+	// ReplicaOffset and CheckOffset are the byte distances from a protected
+	// word to its replica and checksum. The program's data layout must
+	// reserve those regions; offsets must be distinct, word-aligned and
+	// non-zero.
+	ReplicaOffset int64
+	CheckOffset   int64
+
+	// RegionBase/RegionWords describe the contiguous protected region
+	// verified by the pchk pseudo instruction: a GOP-style whole-object
+	// check that walks every protected word, compares primary and replica,
+	// and votes/repairs on mismatch. This is where the mechanism's large
+	// runtime overhead comes from, mirroring the per-access object
+	// checksumming of the paper's SUM+DMR library. Programs that never use
+	// pchk may leave both zero.
+	RegionBase  int64
+	RegionWords int64
+}
+
+// Name implements Variant.
+func (SumDMR) Name() string { return "sum+dmr" }
+
+func (v SumDMR) validate() error {
+	switch {
+	case v.ReplicaOffset == 0 || v.CheckOffset == 0:
+		return fmt.Errorf("harden: SumDMR offsets must be non-zero")
+	case v.ReplicaOffset == v.CheckOffset:
+		return fmt.Errorf("harden: SumDMR offsets must differ")
+	case v.ReplicaOffset%4 != 0 || v.CheckOffset%4 != 0:
+		return fmt.Errorf("harden: SumDMR offsets must be word-aligned")
+	}
+	return nil
+}
+
+// Apply implements Variant.
+func (v SumDMR) Apply(stmts []asm.Stmt) ([]asm.Stmt, error) {
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]asm.Stmt, 0, len(stmts)+16)
+	seq := 0
+	for _, st := range stmts {
+		if !st.IsPseudo() {
+			out = append(out, st)
+			continue
+		}
+		expanded, err := v.expand(st, seq)
+		if err != nil {
+			return nil, err
+		}
+		seq++
+		// Preserve a label attached to the pseudo instruction: it must
+		// name the first expanded instruction.
+		if st.Label != "" {
+			out = append(out, labelStmt(st.Pos, st.Label))
+		}
+		out = append(out, expanded...)
+	}
+	return out, nil
+}
+
+func (v SumDMR) expand(st asm.Stmt, seq int) ([]asm.Stmt, error) {
+	const (
+		s1 = isa.RegScratch1
+		s2 = isa.RegScratch2
+	)
+	pos := st.Pos
+
+	if st.Name == asm.PseudoPCheck {
+		return v.expandCheck(pos, seq)
+	}
+
+	val := st.Ops[0] // rd (pld) or rt (pst)
+	mem := st.Ops[1]
+	base := mem.Reg
+	off := mem.Expr
+
+	if base == s1 || base == s2 {
+		return nil, fmt.Errorf("harden: line %d: %s base register r%d is reserved for hardening",
+			pos.Line, st.Name, base)
+	}
+	if val.Reg == s1 || val.Reg == s2 {
+		return nil, fmt.Errorf("harden: line %d: %s operand register r%d is reserved for hardening",
+			pos.Line, st.Name, val.Reg)
+	}
+
+	if st.Name == asm.PseudoPStore {
+		// sw rt, off(rs); sw rt, off+RO(rs); xori s1, rt, -1; sw s1, off+CO(rs)
+		return []asm.Stmt{
+			instr(pos, "sw", val, memOp(base, off)),
+			instr(pos, "sw", val, memOp(base, addOff(off, v.ReplicaOffset))),
+			instr(pos, "xori", regOp(s1), regOp(val.Reg), numOp(-1)),
+			instr(pos, "sw", regOp(s1), memOp(base, addOff(off, v.CheckOffset))),
+		}, nil
+	}
+
+	// pld rd, off(rs): rd must differ from the base so the repair stores
+	// still have a valid base address after rd is written.
+	if val.Reg == base {
+		return nil, fmt.Errorf("harden: line %d: pld destination r%d must differ from base register",
+			pos.Line, val.Reg)
+	}
+	lblOK := fmt.Sprintf("__dmr%d_ok", seq)
+	lblPrim := fmt.Sprintf("__dmr%d_prim", seq)
+	lblFix := fmt.Sprintf("__dmr%d_fix", seq)
+	okRef := exprOp(asm.SymExpr{Name: lblOK})
+	primRef := exprOp(asm.SymExpr{Name: lblPrim})
+	fixRef := exprOp(asm.SymExpr{Name: lblFix})
+
+	return []asm.Stmt{
+		// Fast path: three cycles when copies agree.
+		instr(pos, "lw", val, memOp(base, off)),
+		instr(pos, "lw", regOp(s1), memOp(base, addOff(off, v.ReplicaOffset))),
+		instr(pos, "beq", val, regOp(s1), okRef),
+		// Mismatch: vote via the complement checksum.
+		instr(pos, "lw", regOp(s2), memOp(base, addOff(off, v.CheckOffset))),
+		instr(pos, "xori", regOp(s2), regOp(s2), numOp(-1)), // expected primary
+		instr(pos, "beq", val, regOp(s2), primRef),
+		// Primary corrupted: adopt the replica, repair the primary.
+		instr(pos, "mov", val, regOp(s1)),
+		instr(pos, "sw", val, memOp(base, off)),
+		instr(pos, "jmp", fixRef),
+		// Replica corrupted: repair it from the (verified) primary.
+		labelStmt(pos, lblPrim),
+		instr(pos, "sw", val, memOp(base, addOff(off, v.ReplicaOffset))),
+		// Refresh the checksum and signal detected & corrected.
+		labelStmt(pos, lblFix),
+		instr(pos, "xori", regOp(s2), regOp(val.Reg), numOp(-1)),
+		instr(pos, "sw", regOp(s2), memOp(base, addOff(off, v.CheckOffset))),
+		instr(pos, "swi", numOp(1), memOp(isa.RegZero, asm.NumExpr{Value: int64(machine.PortCorrect)})),
+		labelStmt(pos, lblOK),
+	}, nil
+}
+
+// expandCheck emits the pchk region verification: walk every protected
+// word, compare primary and replica (two loads and a branch on the fast
+// path), and vote/repair via the checksum on mismatch. Clobbers r1-r3 and
+// the two hardening scratch registers — pchk may only be placed where
+// those are free (kernel entry points).
+func (v SumDMR) expandCheck(pos asm.Pos, seq int) ([]asm.Stmt, error) {
+	if v.RegionWords <= 0 {
+		return nil, fmt.Errorf("harden: line %d: pchk used but SumDMR region is not configured", pos.Line)
+	}
+	const (
+		s1 = isa.RegScratch1
+		s2 = isa.RegScratch2
+	)
+	lbl := func(suffix string) string { return fmt.Sprintf("__chk%d_%s", seq, suffix) }
+	ref := func(suffix string) asm.Operand { return exprOp(asm.SymExpr{Name: lbl(suffix)}) }
+
+	return []asm.Stmt{
+		instr(pos, "li", regOp(1), numOp(v.RegionBase)),
+		instr(pos, "li", regOp(2), numOp(v.RegionBase+v.RegionWords*4)),
+		labelStmt(pos, lbl("loop")),
+		instr(pos, "lw", regOp(3), memOp(1, asm.NumExpr{})),
+		instr(pos, "lw", regOp(s1), memOp(1, asm.NumExpr{Value: v.ReplicaOffset})),
+		instr(pos, "bne", regOp(3), regOp(s1), ref("bad")),
+		// Copies agree; the SUM part verifies the checksum word as well
+		// and scrubs a stale one.
+		instr(pos, "lw", regOp(s2), memOp(1, asm.NumExpr{Value: v.CheckOffset})),
+		instr(pos, "xori", regOp(s2), regOp(s2), numOp(-1)),
+		instr(pos, "bne", regOp(3), regOp(s2), ref("fixsum")),
+		labelStmt(pos, lbl("next")),
+		instr(pos, "addi", regOp(1), regOp(1), numOp(4)),
+		instr(pos, "blt", regOp(1), regOp(2), ref("loop")),
+		instr(pos, "jmp", ref("done")),
+		// Copy mismatch: vote via the complement checksum, repair, signal.
+		labelStmt(pos, lbl("bad")),
+		instr(pos, "lw", regOp(s2), memOp(1, asm.NumExpr{Value: v.CheckOffset})),
+		instr(pos, "xori", regOp(s2), regOp(s2), numOp(-1)),
+		instr(pos, "beq", regOp(3), regOp(s2), ref("fixrep")),
+		instr(pos, "mov", regOp(3), regOp(s1)),
+		instr(pos, "sw", regOp(3), memOp(1, asm.NumExpr{})),
+		instr(pos, "jmp", ref("fixsum")),
+		labelStmt(pos, lbl("fixrep")),
+		instr(pos, "sw", regOp(3), memOp(1, asm.NumExpr{Value: v.ReplicaOffset})),
+		labelStmt(pos, lbl("fixsum")),
+		instr(pos, "xori", regOp(s2), regOp(3), numOp(-1)),
+		instr(pos, "sw", regOp(s2), memOp(1, asm.NumExpr{Value: v.CheckOffset})),
+		instr(pos, "swi", numOp(1), memOp(isa.RegZero, asm.NumExpr{Value: int64(machine.PortCorrect)})),
+		instr(pos, "jmp", ref("next")),
+		labelStmt(pos, lbl("done")),
+	}, nil
+}

@@ -1,0 +1,154 @@
+package harden
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"faultspace/internal/asm"
+	"faultspace/internal/machine"
+)
+
+// TestTMRSingleFaultCorrectness mirrors the SUM+DMR property for the TMR
+// mechanism: any single-bit flip in any of the three copies between the
+// protected store and load must leave the loaded value intact and the run
+// benign.
+func TestTMRSingleFaultCorrectness(t *testing.T) {
+	const (
+		copy2  = 16
+		copy3  = 32
+		ram    = 48
+		nStore = 4 // li + 3-instruction pst expansion
+	)
+	rng := rand.New(rand.NewSource(101))
+	v := TMR{Copy2Offset: copy2, Copy3Offset: copy3}
+
+	for trial := 0; trial < 8; trial++ {
+		value := rng.Uint32()
+		src := fmt.Sprintf(`
+        .ram    %d
+        .equ    SERIAL, 0x10000
+        li      r1, %d
+        pst     r1, 0(r0)
+        nop
+        nop
+        nop
+        pld     r2, 0(r0)
+        sb      r2, SERIAL(r0)
+        shri    r3, r2, 8
+        sb      r3, SERIAL(r0)
+        shri    r3, r2, 16
+        sb      r3, SERIAL(r0)
+        shri    r3, r2, 24
+        sb      r3, SERIAL(r0)
+        halt
+`, ram, int32(value))
+
+		stmts, err := asm.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expanded, err := v.Apply(stmts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.AssembleStmts("tmr", expanded)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		golden, err := machine.New(machine.Config{RAMSize: ram}, prog.Code, prog.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := golden.Run(10000); st != machine.StatusHalted {
+			t.Fatalf("golden run: %v", st)
+		}
+		goldenOut := string(golden.Serial())
+
+		// Inject at every slot between the stores and the pld.
+		for slot := uint64(nStore + 1); slot <= nStore+4; slot++ {
+			for _, base := range []uint64{0, copy2, copy3} {
+				for bit := uint64(0); bit < 32; bit++ {
+					m, err := machine.New(machine.Config{RAMSize: ram}, prog.Code, prog.Image)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m.Run(slot - 1)
+					if err := m.FlipBit(base*8 + bit); err != nil {
+						t.Fatal(err)
+					}
+					if st := m.Run(10000); st != machine.StatusHalted {
+						t.Fatalf("slot %d word %d bit %d: status %v", slot, base, bit, st)
+					}
+					if got := string(m.Serial()); got != goldenOut {
+						t.Fatalf("slot %d word %d bit %d: output %q, want %q",
+							slot, base, bit, got, goldenOut)
+					}
+					if m.CorrectCount() == 0 {
+						t.Fatalf("slot %d word %d bit %d: no correction signalled", slot, base, bit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTMRBitwiseMajoritySurvivesCrossBitPairs: the defining advantage over
+// the complement-checksum vote — flips of *different* bit positions in two
+// different copies are still corrected.
+func TestTMRBitwiseMajoritySurvivesCrossBitPairs(t *testing.T) {
+	const (
+		copy2 = 16
+		copy3 = 32
+	)
+	v := TMR{Copy2Offset: copy2, Copy3Offset: copy3}
+	src := `
+        .ram    48
+        li      r1, 0x0F0F5A5A
+        pst     r1, 0(r0)
+        nop
+        pld     r2, 0(r0)
+        halt
+`
+	stmts, err := asm.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := v.Apply(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.AssembleStmts("tmr", expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runPair := func(bitA, bitB uint64) uint32 {
+		t.Helper()
+		m, err := machine.New(machine.Config{RAMSize: 48}, prog.Code, prog.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(5) // past li + 3 stores
+		if err := m.FlipBit(bitA); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FlipBit(bitB); err != nil {
+			t.Fatal(err)
+		}
+		if st := m.Run(10000); st != machine.StatusHalted {
+			t.Fatalf("status %v", st)
+		}
+		return m.Reg(2)
+	}
+
+	// Different bit positions in primary and copy2: corrected.
+	if got := runPair(3, copy2*8+17); got != 0x0F0F5A5A {
+		t.Errorf("cross-bit pair: loaded %#x, want value intact", got)
+	}
+	// Same bit position in primary and copy2: the majority is wrong.
+	if got := runPair(3, copy2*8+3); got == 0x0F0F5A5A {
+		t.Error("same-bit pair should defeat bitwise majority")
+	}
+}

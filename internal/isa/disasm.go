@@ -1,0 +1,55 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in assembler syntax, e.g.
+// "lw r1, 8(r14)" or "beq r1, r2, 42".
+func (ins Instruction) String() string {
+	r := func(n uint8) string { return fmt.Sprintf("r%d", n) }
+	switch ins.Op {
+	case OpNop, OpHalt, OpSret:
+		return ins.Op.String()
+	case OpRdspc:
+		return fmt.Sprintf("rdspc %s", r(ins.Rd))
+	case OpWrspc:
+		return fmt.Sprintf("wrspc %s", r(ins.Rs))
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", r(ins.Rd), ins.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", r(ins.Rd), r(ins.Rs))
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpMul, OpSlt, OpSltu:
+		return fmt.Sprintf("%s %s, %s, %s", ins.Op, r(ins.Rd), r(ins.Rs), r(ins.Rt))
+	case OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti:
+		return fmt.Sprintf("%s %s, %s, %d", ins.Op, r(ins.Rd), r(ins.Rs), ins.Imm)
+	case OpLw, OpLb:
+		return fmt.Sprintf("%s %s, %d(%s)", ins.Op, r(ins.Rd), ins.Imm, r(ins.Rs))
+	case OpSw, OpSb:
+		return fmt.Sprintf("%s %s, %d(%s)", ins.Op, r(ins.Rt), ins.Imm, r(ins.Rs))
+	case OpSwi, OpSbi:
+		return fmt.Sprintf("%s %d, %d(%s)", ins.Op, ins.Imm2, ins.Imm, r(ins.Rs))
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s %s, %s, %d", ins.Op, r(ins.Rs), r(ins.Rt), ins.Imm)
+	case OpJmp, OpJal:
+		return fmt.Sprintf("%s %d", ins.Op, ins.Imm)
+	case OpJr:
+		return fmt.Sprintf("jr %s", r(ins.Rs))
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %s", r(ins.Rd), r(ins.Rs))
+	default:
+		return fmt.Sprintf("%s rd=%d rs=%d rt=%d imm=%d imm2=%d",
+			ins.Op, ins.Rd, ins.Rs, ins.Rt, ins.Imm, ins.Imm2)
+	}
+}
+
+// Disassemble renders a whole program, one instruction per line, with
+// instruction indices as labels.
+func Disassemble(prog []Instruction) string {
+	var sb strings.Builder
+	for i, ins := range prog {
+		fmt.Fprintf(&sb, "%5d: %s\n", i, ins)
+	}
+	return sb.String()
+}

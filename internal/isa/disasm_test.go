@@ -1,0 +1,47 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstructionString(t *testing.T) {
+	tests := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: OpNop}, "nop"},
+		{Instruction{Op: OpHalt}, "halt"},
+		{Instruction{Op: OpLi, Rd: 1, Imm: -7}, "li r1, -7"},
+		{Instruction{Op: OpMov, Rd: 2, Rs: 3}, "mov r2, r3"},
+		{Instruction{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, "add r1, r2, r3"},
+		{Instruction{Op: OpAddi, Rd: 1, Rs: 2, Imm: 4}, "addi r1, r2, 4"},
+		{Instruction{Op: OpLw, Rd: 4, Rs: 14, Imm: 8}, "lw r4, 8(r14)"},
+		{Instruction{Op: OpSw, Rt: 5, Rs: 14, Imm: -4}, "sw r5, -4(r14)"},
+		{Instruction{Op: OpSbi, Rs: 0, Imm: 1, Imm2: 72}, "sbi 72, 1(r0)"},
+		{Instruction{Op: OpBeq, Rs: 1, Rt: 2, Imm: 9}, "beq r1, r2, 9"},
+		{Instruction{Op: OpJmp, Imm: 3}, "jmp 3"},
+		{Instruction{Op: OpJal, Imm: 5}, "jal 5"},
+		{Instruction{Op: OpJr, Rs: 15}, "jr r15"},
+		{Instruction{Op: OpJalr, Rd: 1, Rs: 2}, "jalr r1, r2"},
+	}
+	for _, tt := range tests {
+		if got := tt.ins.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.ins, got, tt.want)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := []Instruction{
+		{Op: OpLi, Rd: 1, Imm: 72},
+		{Op: OpHalt},
+	}
+	out := Disassemble(prog)
+	if !strings.Contains(out, "0: li r1, 72") || !strings.Contains(out, "1: halt") {
+		t.Errorf("unexpected disassembly:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 2 {
+		t.Errorf("disassembly has %d lines, want 2", got)
+	}
+}

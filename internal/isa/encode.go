@@ -1,0 +1,94 @@
+package isa
+
+import "fmt"
+
+// fav32 instructions have a fixed 64-bit binary encoding:
+//
+//	bits 63..56  op      (8 bits)
+//	bits 55..52  rd      (4 bits)
+//	bits 51..48  rs      (4 bits)
+//	bits 47..44  rt      (4 bits)
+//	bits 43..32  imm2    (12-bit two's complement)
+//	bits 31..0   imm     (32-bit two's complement)
+//
+// The encoding exists so programs can be stored, hashed and diffed as plain
+// bytes; the simulator executes the decoded Instruction form directly.
+const (
+	minImm2 = -(1 << 11)
+	maxImm2 = 1<<11 - 1
+)
+
+// Encode packs the instruction into its 64-bit binary form.
+// The instruction must Validate.
+func Encode(ins Instruction) (uint64, error) {
+	if err := ins.Validate(); err != nil {
+		return 0, err
+	}
+	w := uint64(ins.Op)<<56 |
+		uint64(ins.Rd&0xf)<<52 |
+		uint64(ins.Rs&0xf)<<48 |
+		uint64(ins.Rt&0xf)<<44 |
+		uint64(uint32(ins.Imm2)&0xfff)<<32 |
+		uint64(uint32(ins.Imm))
+	return w, nil
+}
+
+// Decode unpacks a 64-bit instruction word. It fails if the op field does
+// not name a valid operation or the decoded instruction is malformed.
+func Decode(w uint64) (Instruction, error) {
+	ins := Instruction{
+		Op:   Op(w >> 56),
+		Rd:   uint8(w>>52) & 0xf,
+		Rs:   uint8(w>>48) & 0xf,
+		Rt:   uint8(w>>44) & 0xf,
+		Imm2: signExtend12(uint32(w>>32) & 0xfff),
+		Imm:  int32(uint32(w)),
+	}
+	if err := ins.Validate(); err != nil {
+		return Instruction{}, fmt.Errorf("isa: decode %#016x: %w", w, err)
+	}
+	return ins, nil
+}
+
+func signExtend12(v uint32) int32 {
+	if v&0x800 != 0 {
+		v |= 0xfffff000
+	}
+	return int32(v)
+}
+
+// EncodeProgram encodes a sequence of instructions into little-endian bytes,
+// 8 bytes per instruction.
+func EncodeProgram(prog []Instruction) ([]byte, error) {
+	out := make([]byte, 0, len(prog)*8)
+	for i, ins := range prog {
+		w, err := Encode(ins)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		for b := 0; b < 8; b++ {
+			out = append(out, byte(w>>(8*b)))
+		}
+	}
+	return out, nil
+}
+
+// DecodeProgram decodes bytes produced by EncodeProgram.
+func DecodeProgram(data []byte) ([]Instruction, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("isa: program length %d not a multiple of 8", len(data))
+	}
+	prog := make([]Instruction, 0, len(data)/8)
+	for off := 0; off < len(data); off += 8 {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(data[off+b]) << (8 * b)
+		}
+		ins, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", off/8, err)
+		}
+		prog = append(prog, ins)
+	}
+	return prog, nil
+}

@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	samples := []Instruction{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpLi, Rd: 15, Imm: -1},
+		{Op: OpLi, Rd: 1, Imm: 1<<31 - 1},
+		{Op: OpLi, Rd: 1, Imm: -(1 << 31)},
+		{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpLw, Rd: 4, Rs: 14, Imm: -8},
+		{Op: OpSw, Rt: 5, Rs: 14, Imm: 1024},
+		{Op: OpSwi, Rs: 0, Imm: 65540, Imm2: -2048},
+		{Op: OpSbi, Rs: 0, Imm: 1, Imm2: 255},
+		{Op: OpBeq, Rs: 7, Rt: 8, Imm: 42},
+		{Op: OpJalr, Rd: 1, Rs: 2},
+	}
+	for _, ins := range samples {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", ins, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", ins, err)
+		}
+		if got != ins {
+			t.Errorf("round trip: got %+v, want %+v", got, ins)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(Instruction{Op: OpInvalid}); err == nil {
+		t.Error("Encode must reject invalid op")
+	}
+	if _, err := Encode(Instruction{Op: OpSwi, Imm2: 4000}); err == nil {
+		t.Error("Encode must reject out-of-range imm2")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) must fail (OpInvalid)")
+	}
+	if _, err := Decode(uint64(250) << 56); err == nil {
+		t.Error("Decode of unknown opcode must fail")
+	}
+}
+
+// randomInstruction generates a structurally valid instruction.
+func randomInstruction(rng *rand.Rand) Instruction {
+	for {
+		ins := Instruction{
+			Op: Op(rng.Intn(NumOps) + 1),
+			Rd: uint8(rng.Intn(NumRegs)),
+			Rs: uint8(rng.Intn(NumRegs)),
+			Rt: uint8(rng.Intn(NumRegs)),
+		}
+		switch ins.Op {
+		case OpSwi, OpSbi:
+			ins.Imm = rng.Int31()
+			ins.Imm2 = int32(rng.Intn(4096) - 2048)
+		default:
+			ins.Imm = int32(rng.Uint32())
+		}
+		if ins.Validate() == nil {
+			return ins
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		ins := randomInstruction(rng)
+		w, err := Encode(ins)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prog := make([]Instruction, 100)
+	for i := range prog {
+		prog[i] = randomInstruction(rng)
+	}
+	data, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(prog)*8 {
+		t.Fatalf("encoded length = %d, want %d", len(data), len(prog)*8)
+	}
+	got, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instruction %d: got %+v, want %+v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDecodeProgramBadLength(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, 7)); err == nil {
+		t.Error("DecodeProgram must reject lengths not divisible by 8")
+	}
+}

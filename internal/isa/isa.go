@@ -1,0 +1,288 @@
+// Package isa defines the fav32 instruction-set architecture: a minimal
+// 32-bit RISC machine language executed by the deterministic simulator in
+// internal/machine.
+//
+// fav32 follows the machine model of Schirmeier et al. (DSN 2015), §II-C:
+// a simple in-order CPU, one instruction per cycle, a flat wait-free RAM,
+// and a fault-immune ROM holding the program. The program counter indexes
+// instructions (not bytes), so "cycle n executes instruction ROM[pc_n]".
+//
+// Registers: 16 general-purpose 32-bit registers r0..r15. r0 is hardwired
+// to zero (writes are ignored). By convention r13 is the frame pointer,
+// r14 the stack pointer and r15 the link register; r11 and r12 are reserved
+// as scratch registers for hardening transformations (see internal/harden).
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Register aliases used throughout the toolchain.
+const (
+	RegZero = 0  // hardwired zero
+	RegFP   = 13 // frame pointer (convention only)
+	RegSP   = 14 // stack pointer (convention only)
+	RegLR   = 15 // link register (written by JAL)
+
+	// RegScratch1 and RegScratch2 are reserved for code injected by the
+	// hardening transformations. Hand-written programs that are candidates
+	// for hardening must not hold live values in them across protected
+	// accesses.
+	RegScratch1 = 11
+	RegScratch2 = 12
+)
+
+// Op identifies a fav32 operation.
+type Op uint8
+
+// The fav32 operation set. Every operation executes in exactly one cycle.
+const (
+	// OpInvalid is the zero value; executing it raises an
+	// illegal-instruction exception.
+	OpInvalid Op = iota
+
+	OpNop  // no operation
+	OpHalt // stop the machine; the run terminates successfully
+
+	OpLi  // rd <- imm
+	OpMov // rd <- rs
+
+	// Three-register ALU operations: rd <- rs OP rt.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl  // rd <- rs << (rt & 31)
+	OpShr  // rd <- rs >> (rt & 31), logical
+	OpSar  // rd <- rs >> (rt & 31), arithmetic
+	OpMul  // rd <- low 32 bits of rs * rt
+	OpSlt  // rd <- 1 if rs < rt (signed) else 0
+	OpSltu // rd <- 1 if rs < rt (unsigned) else 0
+
+	// Register-immediate ALU operations: rd <- rs OP imm.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSlti
+
+	// Memory operations. Effective address is rs+imm. Words are 4 bytes,
+	// little-endian, and must be 4-byte aligned.
+	OpLw  // rd <- mem32[rs+imm]
+	OpLb  // rd <- zext(mem8[rs+imm])
+	OpSw  // mem32[rs+imm] <- rt
+	OpSb  // mem8[rs+imm] <- rt & 0xff
+	OpSwi // mem32[rs+imm] <- imm2 (sign-extended store-immediate)
+	OpSbi // mem8[rs+imm] <- imm2 & 0xff
+
+	// Control transfer. Branch/jump targets are absolute instruction
+	// indices carried in imm.
+	OpBeq  // if rs == rt: pc <- imm
+	OpBne  // if rs != rt: pc <- imm
+	OpBlt  // if rs < rt (signed): pc <- imm
+	OpBge  // if rs >= rt (signed): pc <- imm
+	OpBltu // if rs < rt (unsigned): pc <- imm
+	OpBgeu // if rs >= rt (unsigned): pc <- imm
+	OpJmp  // pc <- imm
+	OpJal  // r15 <- pc+1; pc <- imm
+	OpJr   // pc <- rs
+	OpJalr // rd <- pc+1; pc <- rs
+
+	// OpSret returns from a timer-interrupt handler: pc <- saved pc,
+	// interrupts re-enabled. Illegal outside a handler.
+	OpSret
+	// OpRdspc reads the saved interrupt-return PC: rd <- savedPC.
+	// Illegal outside a handler. Used by preemptive schedulers to capture
+	// the interrupted thread's resume point.
+	OpRdspc
+	// OpWrspc writes the saved interrupt-return PC: savedPC <- rs, so the
+	// following sret resumes a *different* thread. Illegal outside a
+	// handler.
+	OpWrspc
+
+	opMax // sentinel; keep last
+)
+
+// NumOps is the number of valid operations (excluding OpInvalid).
+const NumOps = int(opMax) - 1
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpNop:     "nop",
+	OpHalt:    "halt",
+	OpLi:      "li",
+	OpMov:     "mov",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpSar:     "sar",
+	OpMul:     "mul",
+	OpSlt:     "slt",
+	OpSltu:    "sltu",
+	OpAddi:    "addi",
+	OpAndi:    "andi",
+	OpOri:     "ori",
+	OpXori:    "xori",
+	OpShli:    "shli",
+	OpShri:    "shri",
+	OpSlti:    "slti",
+	OpLw:      "lw",
+	OpLb:      "lb",
+	OpSw:      "sw",
+	OpSb:      "sb",
+	OpSwi:     "swi",
+	OpSbi:     "sbi",
+	OpBeq:     "beq",
+	OpBne:     "bne",
+	OpBlt:     "blt",
+	OpBge:     "bge",
+	OpBltu:    "bltu",
+	OpBgeu:    "bgeu",
+	OpJmp:     "jmp",
+	OpJal:     "jal",
+	OpJr:      "jr",
+	OpJalr:    "jalr",
+	OpSret:    "sret",
+	OpRdspc:   "rdspc",
+	OpWrspc:   "wrspc",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is an executable fav32 operation.
+func (op Op) Valid() bool {
+	return op > OpInvalid && op < opMax
+}
+
+// OpByName maps an assembler mnemonic to its Op. The second return value
+// is false if the mnemonic is unknown.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = buildOpsByName()
+
+func buildOpsByName() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := OpNop; op < opMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}
+
+// Instruction is one decoded fav32 instruction. The meaning of each field
+// depends on the operation; unused fields must be zero.
+type Instruction struct {
+	Op   Op
+	Rd   uint8 // destination register
+	Rs   uint8 // first source / base register for memory ops
+	Rt   uint8 // second source / store-value register
+	Imm  int32 // primary immediate: constant, address offset, or branch target
+	Imm2 int32 // secondary immediate for Swi/Sbi (12-bit signed)
+}
+
+// Class is a coarse taxonomy of operations, used by analyses and reports.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassOther Class = iota + 1
+	ClassALU
+	ClassLoad
+	ClassStore
+	ClassBranch
+)
+
+// Classify returns the Class of op.
+func Classify(op Op) Class {
+	switch op {
+	case OpLw, OpLb, OpLi:
+		// Load-immediate counts as a load for the taxonomy used in the
+		// paper's "Hi" example (§IV-A), which calls its 8 instructions
+		// "four load and four store instructions".
+		return ClassLoad
+	case OpSw, OpSb, OpSwi, OpSbi:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJmp, OpJal, OpJr, OpJalr, OpSret:
+		return ClassBranch
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpMul,
+		OpSlt, OpSltu, OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri,
+		OpSlti, OpMov:
+		return ClassALU
+	default:
+		return ClassOther
+	}
+}
+
+// Validate checks structural well-formedness of the instruction: the
+// operation is known, register indices are in range, and Imm2 fits the
+// encodable 12-bit signed range when used.
+func (ins Instruction) Validate() error {
+	if !ins.Op.Valid() {
+		return fmt.Errorf("isa: invalid op %d", ins.Op)
+	}
+	if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+		return fmt.Errorf("isa: %s: register out of range (rd=%d rs=%d rt=%d)",
+			ins.Op, ins.Rd, ins.Rs, ins.Rt)
+	}
+	switch ins.Op {
+	case OpSwi, OpSbi:
+		if ins.Imm2 < minImm2 || ins.Imm2 > maxImm2 {
+			return fmt.Errorf("isa: %s: imm2 %d outside [%d, %d]",
+				ins.Op, ins.Imm2, minImm2, maxImm2)
+		}
+	default:
+		if ins.Imm2 != 0 {
+			return fmt.Errorf("isa: %s: imm2 must be zero", ins.Op)
+		}
+	}
+	return nil
+}
+
+// Reads reports which registers the instruction reads.
+func (ins Instruction) Reads() []uint8 {
+	switch ins.Op {
+	case OpMov, OpLw, OpLb, OpJr, OpJalr,
+		OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri, OpSlti,
+		OpSwi, OpSbi, OpWrspc:
+		return []uint8{ins.Rs}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpMul,
+		OpSlt, OpSltu,
+		OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return []uint8{ins.Rs, ins.Rt}
+	case OpSw, OpSb:
+		return []uint8{ins.Rs, ins.Rt}
+	default:
+		return nil
+	}
+}
+
+// WritesReg returns the register written by the instruction, or -1 when the
+// instruction writes no register.
+func (ins Instruction) WritesReg() int {
+	switch ins.Op {
+	case OpLi, OpMov, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar,
+		OpMul, OpSlt, OpSltu, OpAddi, OpAndi, OpOri, OpXori, OpShli, OpShri,
+		OpSlti, OpLw, OpLb, OpJalr, OpRdspc:
+		return int(ins.Rd)
+	case OpJal:
+		return RegLR
+	default:
+		return -1
+	}
+}

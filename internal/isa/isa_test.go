@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := OpNop; op < opMax; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Fatalf("op %d has no name", op)
+		}
+		got, ok := OpByName(name)
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", name)
+		}
+		if got != op {
+			t.Errorf("OpByName(%q) = %v, want %v", name, got, op)
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("OpByName should reject unknown mnemonics")
+	}
+	if _, ok := OpByName("invalid"); ok {
+		t.Error("OpByName must not expose OpInvalid")
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be valid")
+	}
+	if Op(200).Valid() {
+		t.Error("out-of-range op must not be valid")
+	}
+	if !OpHalt.Valid() || !OpJalr.Valid() {
+		t.Error("real ops must be valid")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want Class
+	}{
+		{OpLw, ClassLoad},
+		{OpLb, ClassLoad},
+		{OpLi, ClassLoad},
+		{OpSw, ClassStore},
+		{OpSbi, ClassStore},
+		{OpBeq, ClassBranch},
+		{OpJalr, ClassBranch},
+		{OpJmp, ClassBranch},
+		{OpAdd, ClassALU},
+		{OpMov, ClassALU},
+		{OpXori, ClassALU},
+		{OpNop, ClassOther},
+		{OpHalt, ClassOther},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.op); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestInstructionValidate(t *testing.T) {
+	valid := []Instruction{
+		{Op: OpNop},
+		{Op: OpLi, Rd: 1, Imm: -5},
+		{Op: OpSwi, Rs: 2, Imm: 100, Imm2: 2047},
+		{Op: OpSwi, Rs: 2, Imm: 100, Imm2: -2048},
+		{Op: OpJalr, Rd: 15, Rs: 3},
+	}
+	for _, ins := range valid {
+		if err := ins.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", ins, err)
+		}
+	}
+	invalid := []Instruction{
+		{Op: OpInvalid},
+		{Op: Op(250)},
+		{Op: OpAdd, Rd: 16},
+		{Op: OpAdd, Rs: 99},
+		{Op: OpSwi, Imm2: 2048},
+		{Op: OpSwi, Imm2: -2049},
+		{Op: OpAdd, Imm2: 1}, // imm2 must be zero outside swi/sbi
+	}
+	for _, ins := range invalid {
+		if err := ins.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", ins)
+		}
+	}
+}
+
+func TestReadsAndWrites(t *testing.T) {
+	tests := []struct {
+		ins    Instruction
+		reads  []uint8
+		writes int
+	}{
+		{Instruction{Op: OpNop}, nil, -1},
+		{Instruction{Op: OpLi, Rd: 3}, nil, 3},
+		{Instruction{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, []uint8{2, 3}, 1},
+		{Instruction{Op: OpLw, Rd: 4, Rs: 5}, []uint8{5}, 4},
+		{Instruction{Op: OpSw, Rs: 6, Rt: 7}, []uint8{6, 7}, -1},
+		{Instruction{Op: OpJal, Imm: 3}, nil, RegLR},
+		{Instruction{Op: OpJalr, Rd: 2, Rs: 9}, []uint8{9}, 2},
+		{Instruction{Op: OpBeq, Rs: 1, Rt: 2}, []uint8{1, 2}, -1},
+		{Instruction{Op: OpSbi, Rs: 8, Imm2: 1}, []uint8{8}, -1},
+	}
+	for _, tt := range tests {
+		got := tt.ins.Reads()
+		if len(got) != len(tt.reads) {
+			t.Errorf("%v Reads() = %v, want %v", tt.ins, got, tt.reads)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.reads[i] {
+				t.Errorf("%v Reads() = %v, want %v", tt.ins, got, tt.reads)
+			}
+		}
+		if w := tt.ins.WritesReg(); w != tt.writes {
+			t.Errorf("%v WritesReg() = %d, want %d", tt.ins, w, tt.writes)
+		}
+	}
+}

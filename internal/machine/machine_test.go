@@ -1,0 +1,412 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"faultspace/internal/isa"
+)
+
+func newTestMachine(t *testing.T, ramSize int, prog []isa.Instruction, image []byte) *Machine {
+	t.Helper()
+	m, err := New(Config{RAMSize: ramSize}, prog, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runALU executes a single ALU-style instruction with pre-set registers and
+// returns the destination register value.
+func runALU(t *testing.T, ins isa.Instruction, set map[int]uint32) uint32 {
+	t.Helper()
+	m := newTestMachine(t, 16, []isa.Instruction{ins, {Op: isa.OpHalt}}, nil)
+	for r, v := range set {
+		m.SetReg(r, v)
+	}
+	if st, err := m.Step(); err != nil || st != StatusRunning {
+		t.Fatalf("step: status=%v err=%v", st, err)
+	}
+	return m.Reg(int(ins.Rd))
+}
+
+func TestALUSemantics(t *testing.T) {
+	tests := []struct {
+		name string
+		ins  isa.Instruction
+		set  map[int]uint32
+		want uint32
+	}{
+		{"li", isa.Instruction{Op: isa.OpLi, Rd: 1, Imm: -2}, nil, 0xfffffffe},
+		{"mov", isa.Instruction{Op: isa.OpMov, Rd: 1, Rs: 2}, map[int]uint32{2: 77}, 77},
+		{"add", isa.Instruction{Op: isa.OpAdd, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 3, 3: 4}, 7},
+		{"add-wrap", isa.Instruction{Op: isa.OpAdd, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0xffffffff, 3: 2}, 1},
+		{"sub", isa.Instruction{Op: isa.OpSub, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 3, 3: 5}, 0xfffffffe},
+		{"and", isa.Instruction{Op: isa.OpAnd, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0b1100, 3: 0b1010}, 0b1000},
+		{"or", isa.Instruction{Op: isa.OpOr, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0b1100, 3: 0b1010}, 0b1110},
+		{"xor", isa.Instruction{Op: isa.OpXor, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0b1100, 3: 0b1010}, 0b0110},
+		{"shl", isa.Instruction{Op: isa.OpShl, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 1, 3: 4}, 16},
+		{"shl-mask", isa.Instruction{Op: isa.OpShl, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 1, 3: 33}, 2},
+		{"shr", isa.Instruction{Op: isa.OpShr, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0x80000000, 3: 31}, 1},
+		{"sar", isa.Instruction{Op: isa.OpSar, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0x80000000, 3: 31}, 0xffffffff},
+		{"mul", isa.Instruction{Op: isa.OpMul, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 7, 3: 6}, 42},
+		{"slt-true", isa.Instruction{Op: isa.OpSlt, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0xffffffff, 3: 0}, 1},
+		{"slt-false", isa.Instruction{Op: isa.OpSlt, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0, 3: 0xffffffff}, 0},
+		{"sltu-true", isa.Instruction{Op: isa.OpSltu, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0, 3: 0xffffffff}, 1},
+		{"sltu-false", isa.Instruction{Op: isa.OpSltu, Rd: 1, Rs: 2, Rt: 3}, map[int]uint32{2: 0xffffffff, 3: 0}, 0},
+		{"addi", isa.Instruction{Op: isa.OpAddi, Rd: 1, Rs: 2, Imm: -1}, map[int]uint32{2: 5}, 4},
+		{"andi", isa.Instruction{Op: isa.OpAndi, Rd: 1, Rs: 2, Imm: 7}, map[int]uint32{2: 0xff}, 7},
+		{"ori", isa.Instruction{Op: isa.OpOri, Rd: 1, Rs: 2, Imm: 8}, map[int]uint32{2: 3}, 11},
+		{"xori-not", isa.Instruction{Op: isa.OpXori, Rd: 1, Rs: 2, Imm: -1}, map[int]uint32{2: 0x0f0f0f0f}, 0xf0f0f0f0},
+		{"shli", isa.Instruction{Op: isa.OpShli, Rd: 1, Rs: 2, Imm: 3}, map[int]uint32{2: 2}, 16},
+		{"shri", isa.Instruction{Op: isa.OpShri, Rd: 1, Rs: 2, Imm: 4}, map[int]uint32{2: 0x100}, 0x10},
+		{"slti", isa.Instruction{Op: isa.OpSlti, Rd: 1, Rs: 2, Imm: 10}, map[int]uint32{2: 9}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := runALU(t, tt.ins, tt.set); got != tt.want {
+				t.Errorf("got %#x, want %#x", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpLi, Rd: 0, Imm: 42},
+		{Op: isa.OpHalt},
+	}, nil)
+	m.Step()
+	if m.Reg(0) != 0 {
+		t.Errorf("r0 = %d after write, want 0", m.Reg(0))
+	}
+	m.SetReg(0, 99)
+	if m.Reg(0) != 0 {
+		t.Error("SetReg must not modify r0")
+	}
+}
+
+func TestLoadStoreWordAndByte(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpLi, Rd: 1, Imm: -559038737}, // 0xdeadbeef
+		{Op: isa.OpSw, Rt: 1, Rs: 0, Imm: 4},
+		{Op: isa.OpLw, Rd: 2, Rs: 0, Imm: 4},
+		{Op: isa.OpLb, Rd: 3, Rs: 0, Imm: 4},
+		{Op: isa.OpLb, Rd: 4, Rs: 0, Imm: 7},
+		{Op: isa.OpSb, Rt: 3, Rs: 0, Imm: 0},
+		{Op: isa.OpLb, Rd: 5, Rs: 0, Imm: 0},
+		{Op: isa.OpHalt},
+	}, nil)
+	if st := m.Run(100); st != StatusHalted {
+		t.Fatalf("status %v (exc %v)", st, m.Exception())
+	}
+	if m.Reg(2) != 0xdeadbeef {
+		t.Errorf("lw: got %#x", m.Reg(2))
+	}
+	if m.Reg(3) != 0xef { // little-endian low byte
+		t.Errorf("lb low byte: got %#x", m.Reg(3))
+	}
+	if m.Reg(4) != 0xde {
+		t.Errorf("lb high byte: got %#x", m.Reg(4))
+	}
+	if m.Reg(5) != 0xef {
+		t.Errorf("sb/lb: got %#x", m.Reg(5))
+	}
+}
+
+func TestStoreImmediates(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpSwi, Rs: 0, Imm: 0, Imm2: -1},
+		{Op: isa.OpSbi, Rs: 0, Imm: 8, Imm2: 72},
+		{Op: isa.OpHalt},
+	}, nil)
+	if st := m.Run(10); st != StatusHalted {
+		t.Fatalf("status %v", st)
+	}
+	ram, _ := m.ReadRAM(0, 9)
+	for i := 0; i < 4; i++ {
+		if ram[i] != 0xff {
+			t.Errorf("swi -1: byte %d = %#x", i, ram[i])
+		}
+	}
+	if ram[8] != 72 {
+		t.Errorf("sbi: got %d, want 72", ram[8])
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	// Program: r1=1; beq r1,r0 -> skip (not taken); bne r1,r0 -> target.
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpLi, Rd: 1, Imm: 1},
+		{Op: isa.OpBeq, Rs: 1, Rt: 0, Imm: 5}, // not taken
+		{Op: isa.OpBne, Rs: 1, Rt: 0, Imm: 4}, // taken
+		{Op: isa.OpLi, Rd: 2, Imm: 99},        // skipped
+		{Op: isa.OpHalt},
+		{Op: isa.OpHalt},
+	}, nil)
+	if st := m.Run(10); st != StatusHalted {
+		t.Fatalf("status %v", st)
+	}
+	if m.Reg(2) == 99 {
+		t.Error("bne did not branch")
+	}
+	if m.Cycles() != 4 {
+		t.Errorf("cycles = %d, want 4", m.Cycles())
+	}
+}
+
+func TestSignedUnsignedBranches(t *testing.T) {
+	tests := []struct {
+		op       isa.Op
+		rs, rt   uint32
+		expected bool
+	}{
+		{isa.OpBlt, 0xffffffff, 0, true},   // -1 < 0 signed
+		{isa.OpBltu, 0xffffffff, 0, false}, // max > 0 unsigned
+		{isa.OpBge, 0, 0, true},
+		{isa.OpBgeu, 0, 1, false},
+		{isa.OpBltu, 1, 2, true},
+		{isa.OpBge, 0xffffffff, 0, false},
+	}
+	for _, tt := range tests {
+		m := newTestMachine(t, 16, []isa.Instruction{
+			{Op: tt.op, Rs: 1, Rt: 2, Imm: 2},
+			{Op: isa.OpHalt}, // fallthrough
+			{Op: isa.OpHalt}, // branch target
+		}, nil)
+		m.SetReg(1, tt.rs)
+		m.SetReg(2, tt.rt)
+		m.Step()
+		taken := m.PC() == 2
+		if taken != tt.expected {
+			t.Errorf("%v(%#x, %#x): taken=%v, want %v", tt.op, tt.rs, tt.rt, taken, tt.expected)
+		}
+	}
+}
+
+func TestJalJrJalr(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpJal, Imm: 3},        // 0: call 3, r15=1
+		{Op: isa.OpLi, Rd: 1, Imm: 7},  // 1: executed after return
+		{Op: isa.OpHalt},               // 2
+		{Op: isa.OpJalr, Rd: 2, Rs: 3}, // 3: r2=4, jump r3 (=5)
+		{Op: isa.OpHalt},               // 4
+		{Op: isa.OpJr, Rs: 15},         // 5: return to 1
+	}, nil)
+	m.SetReg(3, 5)
+	if st := m.Run(10); st != StatusHalted {
+		t.Fatalf("status %v", st)
+	}
+	if m.Reg(15) != 1 {
+		t.Errorf("jal link = %d, want 1", m.Reg(15))
+	}
+	if m.Reg(2) != 4 {
+		t.Errorf("jalr link = %d, want 4", m.Reg(2))
+	}
+	if m.Reg(1) != 7 {
+		t.Error("did not return through jr")
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	tests := []struct {
+		name string
+		prog []isa.Instruction
+		want Exception
+	}{
+		{"bad-pc", []isa.Instruction{{Op: isa.OpJmp, Imm: 100}, {Op: isa.OpNop}}, ExcBadPC},
+		{"illegal-op", []isa.Instruction{{Op: isa.Op(99)}}, ExcIllegalOp},
+		{"mem-range-load", []isa.Instruction{{Op: isa.OpLw, Rd: 1, Rs: 0, Imm: 1000}}, ExcMemRange},
+		{"mem-range-store", []isa.Instruction{{Op: isa.OpSw, Rt: 1, Rs: 0, Imm: 1000}}, ExcMemRange},
+		{"misaligned-load", []isa.Instruction{{Op: isa.OpLw, Rd: 1, Rs: 0, Imm: 2}}, ExcMisaligned},
+		{"misaligned-store", []isa.Instruction{{Op: isa.OpSw, Rt: 1, Rs: 0, Imm: 3}}, ExcMisaligned},
+		{"port-load", []isa.Instruction{{Op: isa.OpLw, Rd: 1, Rs: 0, Imm: int32(PortSerial)}}, ExcPortLoad},
+		{"port-load-byte", []isa.Instruction{{Op: isa.OpLb, Rd: 1, Rs: 0, Imm: int32(PortDetect)}}, ExcPortLoad},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := newTestMachine(t, 16, tt.prog, nil)
+			st := m.Run(10)
+			if st != StatusExcepted {
+				t.Fatalf("status = %v, want excepted", st)
+			}
+			if m.Exception() != tt.want {
+				t.Errorf("exception = %v, want %v", m.Exception(), tt.want)
+			}
+		})
+	}
+}
+
+func TestRunOffEndOfROM(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{{Op: isa.OpNop}}, nil)
+	st := m.Run(10)
+	if st != StatusExcepted || m.Exception() != ExcBadPC {
+		t.Errorf("running off ROM end: status=%v exc=%v, want excepted/bad-pc", st, m.Exception())
+	}
+}
+
+func TestMMIOPorts(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpLi, Rd: 1, Imm: 'X'},
+		{Op: isa.OpSw, Rt: 1, Rs: 0, Imm: int32(PortSerial)},
+		{Op: isa.OpSb, Rt: 1, Rs: 0, Imm: int32(PortSerial)},
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(PortDetect), Imm2: 1},
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(PortCorrect), Imm2: 1},
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(PortCorrect), Imm2: 1},
+		{Op: isa.OpHalt},
+	}, nil)
+	if st := m.Run(10); st != StatusHalted {
+		t.Fatalf("status %v (exc %v)", st, m.Exception())
+	}
+	if !bytes.Equal(m.Serial(), []byte("XX")) {
+		t.Errorf("serial = %q, want \"XX\"", m.Serial())
+	}
+	if m.DetectCount() != 1 || m.CorrectCount() != 2 {
+		t.Errorf("detect=%d correct=%d, want 1/2", m.DetectCount(), m.CorrectCount())
+	}
+}
+
+func TestAbortPort(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(PortAbort), Imm2: 1},
+		{Op: isa.OpHalt},
+	}, nil)
+	if st := m.Run(10); st != StatusAborted {
+		t.Fatalf("status = %v, want aborted", st)
+	}
+	if m.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1", m.Cycles())
+	}
+}
+
+func TestUnknownPortStore(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(MMIOBase + 0x100), Imm2: 1},
+	}, nil)
+	if st := m.Run(10); st != StatusExcepted || m.Exception() != ExcMemRange {
+		t.Errorf("unknown port: status=%v exc=%v", st, m.Exception())
+	}
+}
+
+func TestSerialLimit(t *testing.T) {
+	m, err := New(Config{RAMSize: 16, MaxSerial: 4}, []isa.Instruction{
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(PortSerial), Imm2: 'A'},
+		{Op: isa.OpJmp, Imm: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(100)
+	if st != StatusExcepted || m.Exception() != ExcSerialLimit {
+		t.Errorf("status=%v exc=%v, want serial-limit", st, m.Exception())
+	}
+	if len(m.Serial()) != 4 {
+		t.Errorf("serial length = %d, want 4", len(m.Serial()))
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	m := newTestMachine(t, 4, []isa.Instruction{{Op: isa.OpHalt}}, []byte{0, 0, 0, 0})
+	if err := m.FlipBit(9); err != nil { // byte 1, bit 1
+		t.Fatal(err)
+	}
+	ram, _ := m.ReadRAM(0, 4)
+	if ram[1] != 2 {
+		t.Errorf("ram[1] = %d, want 2", ram[1])
+	}
+	if err := m.FlipBit(9); err != nil {
+		t.Fatal(err)
+	}
+	ram, _ = m.ReadRAM(0, 4)
+	if ram[1] != 0 {
+		t.Error("double flip must restore the bit")
+	}
+	if err := m.FlipBit(32); err == nil {
+		t.Error("FlipBit outside RAM must fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{RAMSize: 0},
+		{RAMSize: -4},
+		{RAMSize: int(MMIOBase) + 4},
+		{RAMSize: 16, MaxSerial: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+	if err := (Config{RAMSize: 2}).Validate(); err != nil {
+		t.Errorf("tiny RAM must be allowed: %v", err)
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	if _, err := New(Config{RAMSize: 4}, nil, nil); err == nil {
+		t.Error("New must reject empty programs")
+	}
+	if _, err := New(Config{RAMSize: 4}, []isa.Instruction{{Op: isa.OpHalt}}, make([]byte, 8)); err == nil {
+		t.Error("New must reject oversized images")
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	m := newTestMachine(t, 16, []isa.Instruction{{Op: isa.OpHalt}}, nil)
+	if st := m.Run(10); st != StatusHalted {
+		t.Fatal("expected halt")
+	}
+	if _, err := m.Step(); err != ErrNotRunning {
+		t.Errorf("Step after halt = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestMemHookObservesRAMOnly(t *testing.T) {
+	type access struct {
+		cycle uint64
+		addr  uint32
+		size  uint8
+		kind  AccessKind
+	}
+	var got []access
+	m := newTestMachine(t, 16, []isa.Instruction{
+		{Op: isa.OpSwi, Rs: 0, Imm: 0, Imm2: 5},              // RAM write, cycle 1
+		{Op: isa.OpLw, Rd: 1, Rs: 0, Imm: 0},                 // RAM read, cycle 2
+		{Op: isa.OpSw, Rt: 1, Rs: 0, Imm: int32(PortSerial)}, // MMIO: no hook
+		{Op: isa.OpLb, Rd: 2, Rs: 0, Imm: 3},                 // RAM read, cycle 4
+		{Op: isa.OpHalt},
+	}, nil)
+	m.SetMemHook(func(cycle uint64, addr uint32, size uint8, kind AccessKind) {
+		got = append(got, access{cycle, addr, size, kind})
+	})
+	if st := m.Run(10); st != StatusHalted {
+		t.Fatalf("status %v", st)
+	}
+	want := []access{
+		{1, 0, 4, AccessWrite},
+		{2, 0, 4, AccessRead},
+		{4, 3, 1, AccessRead},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d accesses, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("access %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStatusAndExceptionStrings(t *testing.T) {
+	for _, s := range []Status{StatusRunning, StatusHalted, StatusExcepted, StatusAborted, Status(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for status %d", s)
+		}
+	}
+	for _, e := range []Exception{ExcNone, ExcBadPC, ExcIllegalOp, ExcMemRange, ExcMisaligned, ExcPortLoad, ExcSerialLimit, Exception(99)} {
+		if e.String() == "" {
+			t.Errorf("empty string for exception %d", e)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"testing"
+
+	"faultspace/internal/isa"
+)
+
+// timerProg builds: main increments r1 forever; handler increments r2 and
+// returns.
+func timerProg() []isa.Instruction {
+	return []isa.Instruction{
+		{Op: isa.OpAddi, Rd: 1, Rs: 1, Imm: 1}, // 0: main loop
+		{Op: isa.OpJmp, Imm: 0},                // 1
+		{Op: isa.OpAddi, Rd: 2, Rs: 2, Imm: 1}, // 2: handler
+		{Op: isa.OpSret},                       // 3
+	}
+}
+
+func TestTimerFiresPeriodically(t *testing.T) {
+	m, err := New(Config{RAMSize: 4, TimerPeriod: 10, TimerVector: 2}, timerProg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	// The period counts cycles outside the handler, and each activation
+	// consumes 2 cycles: one activation per 12 cycles, ~8 in 100.
+	if m.Reg(2) < 7 || m.Reg(2) > 9 {
+		t.Errorf("handler ran %d times in 100 cycles, want ~8", m.Reg(2))
+	}
+	if m.Reg(1) == 0 {
+		t.Error("main loop never ran")
+	}
+}
+
+func TestTimerMaskedDuringHandler(t *testing.T) {
+	// Handler longer than the period: ticks must coalesce, not nest.
+	prog := []isa.Instruction{
+		{Op: isa.OpJmp, Imm: 0},                // 0: main spins
+		{Op: isa.OpAddi, Rd: 2, Rs: 2, Imm: 1}, // 1: handler entry
+		{Op: isa.OpNop},                        // 2..6: handler body longer than period
+		{Op: isa.OpNop},
+		{Op: isa.OpNop},
+		{Op: isa.OpNop},
+		{Op: isa.OpSret}, // 6
+	}
+	m, err := New(Config{RAMSize: 4, TimerPeriod: 3, TimerVector: 1}, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(60)
+	// Handler takes 6 cycles, period 3 (counted outside the handler):
+	// one activation per 9 cycles, so ~6 in 60 — and crucially exactly one
+	// r2 increment per activation (no nesting, no starvation).
+	if m.Reg(2) < 5 || m.Reg(2) > 8 {
+		t.Errorf("handler activations = %d, want ~6", m.Reg(2))
+	}
+}
+
+func TestSretOutsideHandlerIsIllegal(t *testing.T) {
+	m, err := New(Config{RAMSize: 4}, []isa.Instruction{{Op: isa.OpSret}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Run(5); st != StatusExcepted || m.Exception() != ExcIllegalOp {
+		t.Errorf("sret outside handler: status=%v exc=%v", st, m.Exception())
+	}
+}
+
+func TestSretResumesExactPC(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.OpNop},                // 0
+		{Op: isa.OpNop},                // 1
+		{Op: isa.OpLi, Rd: 1, Imm: 42}, // 2: resumed here after handler
+		{Op: isa.OpHalt},               // 3
+		{Op: isa.OpLi, Rd: 2, Imm: 7},  // 4: handler
+		{Op: isa.OpSret},               // 5
+	}
+	m, err := New(Config{RAMSize: 4, TimerPeriod: 2, TimerVector: 4}, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Run(20); st != StatusHalted {
+		t.Fatalf("status %v", st)
+	}
+	if m.Reg(1) != 42 || m.Reg(2) != 7 {
+		t.Errorf("r1=%d r2=%d, want 42/7", m.Reg(1), m.Reg(2))
+	}
+	// nop, nop, [irq] li r2, sret, li r1, halt = 6 cycles.
+	if m.Cycles() != 6 {
+		t.Errorf("cycles = %d, want 6", m.Cycles())
+	}
+}
+
+func TestTimerVectorValidation(t *testing.T) {
+	if _, err := New(Config{RAMSize: 4, TimerPeriod: 5, TimerVector: 10},
+		[]isa.Instruction{{Op: isa.OpHalt}}, nil); err == nil {
+		t.Error("out-of-range timer vector must be rejected")
+	}
+}
+
+func TestTimerSnapshotRestore(t *testing.T) {
+	m, err := New(Config{RAMSize: 4, TimerPeriod: 10, TimerVector: 2}, timerProg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(15) // inside or past the first handler activation
+	snap := m.Snapshot()
+	m.Run(50)
+	wantR2, wantCycles := m.Reg(2), m.Cycles()
+
+	m2, err := New(Config{RAMSize: 4, TimerPeriod: 10, TimerVector: 2}, timerProg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Restore(snap)
+	m2.Run(50)
+	if m2.Reg(2) != wantR2 || m2.Cycles() != wantCycles {
+		t.Errorf("restored run diverged: r2=%d/%d cycles=%d/%d",
+			m2.Reg(2), wantR2, m2.Cycles(), wantCycles)
+	}
+}
+
+func TestTimerDisabledByDefault(t *testing.T) {
+	m, err := New(Config{RAMSize: 4}, []isa.Instruction{
+		{Op: isa.OpNop},
+		{Op: isa.OpJmp, Imm: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if m.InIRQ() {
+		t.Error("no timer configured, but machine entered IRQ state")
+	}
+}

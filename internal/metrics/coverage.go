@@ -1,0 +1,74 @@
+// Package metrics implements the evaluation metrics dissected by
+// Schirmeier et al. (DSN 2015): the (flawed-for-comparison) fault-coverage
+// factor, the paper's proposed extrapolated absolute failure counts, the
+// comparison ratio r, the Poisson model for independent fault counts, and
+// FIT-rate conversions.
+//
+// The package is pure math over counts; it does not depend on the
+// simulator or campaign machinery.
+package metrics
+
+import "fmt"
+
+// Coverage computes the fault-coverage factor c = 1 − F/N (Equation 2 of
+// the paper): the probability of benign behavior given that exactly one
+// fault occurred, estimated from F failures among N observations.
+//
+// Whether this number is meaningful depends entirely on what F and N count:
+//
+//   - N = raw fault-space size w and F = weighted failure count → the
+//     correct per-program coverage (still unfit for *comparing* programs,
+//     §IV).
+//   - N = number of conducted experiments after def/use pruning and
+//     F = failed experiments → Pitfall 1 (unweighted result accounting).
+func Coverage(failures, n uint64) (float64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: coverage with N = 0")
+	}
+	if failures > n {
+		return 0, fmt.Errorf("metrics: failures %d exceed N %d", failures, n)
+	}
+	return 1 - float64(failures)/float64(n), nil
+}
+
+// CoverageFromSample estimates coverage from a sampling campaign:
+// c ≈ 1 − F_sampled/N_sampled.
+func CoverageFromSample(failuresSampled, nSampled uint64) (float64, error) {
+	return Coverage(failuresSampled, nSampled)
+}
+
+// ExtrapolateFailures converts raw sampled failure counts into the paper's
+// comparison metric (Pitfall 3, Corollary 2):
+//
+//	F_extrapolated = population · F_sampled / N_sampled
+//
+// where population is the fault-space size w the samples were drawn from
+// (or w′ when known-No-Effect coordinates were excluded, Corollary 1).
+func ExtrapolateFailures(population, failuresSampled, nSampled uint64) (float64, error) {
+	if nSampled == 0 {
+		return 0, fmt.Errorf("metrics: extrapolation with no samples")
+	}
+	if failuresSampled > nSampled {
+		return 0, fmt.Errorf("metrics: failures %d exceed samples %d", failuresSampled, nSampled)
+	}
+	return float64(population) * float64(failuresSampled) / float64(nSampled), nil
+}
+
+// Ratio computes the comparison ratio r = F_hardened / F_baseline
+// (§V, "Summary: Avoiding Pitfalls 1-3"). The hardened variant improves on
+// the baseline iff r < 1. Both inputs must be extrapolated absolute failure
+// counts over each variant's own complete fault space.
+func Ratio(hardenedFailures, baselineFailures float64) (float64, error) {
+	if baselineFailures <= 0 {
+		return 0, fmt.Errorf("metrics: baseline failure count %g must be positive", baselineFailures)
+	}
+	if hardenedFailures < 0 {
+		return 0, fmt.Errorf("metrics: hardened failure count %g must be non-negative", hardenedFailures)
+	}
+	return hardenedFailures / baselineFailures, nil
+}
+
+// PercentagePoints returns (a−b) in percentage points for two probabilities,
+// as used when quantifying the Pitfall-1 gap between weighted and unweighted
+// coverage.
+func PercentagePoints(a, b float64) float64 { return (a - b) * 100 }

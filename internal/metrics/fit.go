@@ -1,0 +1,82 @@
+package metrics
+
+import "fmt"
+
+// FITPerMbit is a soft-error rate in FIT per megabit: expected failures per
+// 10⁹ device-hours per 10⁶ bits. DRAM field studies cited by the paper
+// report 0.044-0.066 FIT/Mbit.
+type FITPerMbit float64
+
+// Soft-error rates from the three large-scale DRAM studies cited in
+// §III-A of the paper.
+const (
+	RateSridharan2012 FITPerMbit = 0.066 // [9] in the paper
+	RateHwang2012     FITPerMbit = 0.061 // [10]
+	RateSridharan2013 FITPerMbit = 0.044 // [11]
+)
+
+// MeanPaperRate is the mean of the three study rates, g = 0.057 FIT/Mbit,
+// which the paper adopts.
+const MeanPaperRate = (RateSridharan2012 + RateHwang2012 + RateSridharan2013) / 3
+
+const (
+	nsPerHour     = 3600e9
+	bitsPerMbit   = 1e6
+	hoursPerGiga  = 1e9
+	nsPerGigaHour = hoursPerGiga * nsPerHour
+)
+
+// PerBitPerNs converts the rate to per-bit per-nanosecond, the paper's
+// g ≈ 1.6·10⁻²⁹ /(ns·bit) for 0.057 FIT/Mbit.
+func (r FITPerMbit) PerBitPerNs() float64 {
+	return float64(r) / (nsPerGigaHour * bitsPerMbit)
+}
+
+// PerBitPerCycle converts the rate to per-bit per-CPU-cycle for a given
+// clock rate in Hz. At the paper's 1 GHz (one cycle per ns) this equals
+// PerBitPerNs.
+func (r FITPerMbit) PerBitPerCycle(clockHz float64) float64 {
+	if clockHz <= 0 {
+		return 0
+	}
+	cycleNs := 1e9 / clockHz
+	return r.PerBitPerNs() * cycleNs
+}
+
+// Lambda computes the Poisson parameter λ = g·w for a fault space of
+// spaceSize = Δt·Δm cycle·bit coordinates at the given clock rate.
+func (r FITPerMbit) Lambda(spaceSize float64, clockHz float64) float64 {
+	return r.PerBitPerCycle(clockHz) * spaceSize
+}
+
+// FaultCountTable is one row of the paper's Table I: the Poisson
+// probability of exactly K independent faults hitting one benchmark run.
+type FaultCountTable struct {
+	Lambda float64
+	Rows   []FaultCountRow
+}
+
+// FaultCountRow is one (k, probability) pair.
+type FaultCountRow struct {
+	K int
+	P float64
+}
+
+// BuildFaultCountTable reproduces Table I for a benchmark with runtime
+// deltaT cycles and memory deltaMBits bits, at rate r and clock clockHz,
+// listing P(k faults) for k = 0..kMax.
+func BuildFaultCountTable(r FITPerMbit, deltaT, deltaMBits uint64, clockHz float64, kMax int) (*FaultCountTable, error) {
+	if kMax < 0 {
+		return nil, fmt.Errorf("metrics: kMax %d must be non-negative", kMax)
+	}
+	lambda := r.Lambda(float64(deltaT)*float64(deltaMBits), clockHz)
+	t := &FaultCountTable{Lambda: lambda}
+	for k := 0; k <= kMax; k++ {
+		p, err := PoissonPMF(lambda, k)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, FaultCountRow{K: k, P: p})
+	}
+	return t, nil
+}

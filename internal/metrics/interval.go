@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a two-sided confidence interval for a proportion.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether p lies inside the interval.
+func (iv Interval) Contains(p float64) bool { return p >= iv.Lo && p <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Z95 and Z99 are the standard-normal quantiles for common confidence
+// levels.
+const (
+	Z95 = 1.959963984540054
+	Z99 = 2.5758293035489004
+)
+
+// WilsonInterval computes the Wilson score interval for a binomial
+// proportion with `successes` out of n trials at normal quantile z.
+// It behaves sanely at the extremes (0 or n successes), unlike the Wald
+// interval, which matters for fault-injection campaigns where failure
+// proportions can be very small.
+func WilsonInterval(successes, n uint64, z float64) (Interval, error) {
+	if n == 0 {
+		return Interval{}, fmt.Errorf("metrics: Wilson interval with n = 0")
+	}
+	if successes > n {
+		return Interval{}, fmt.Errorf("metrics: successes %d exceed n %d", successes, n)
+	}
+	if z <= 0 {
+		return Interval{}, fmt.Errorf("metrics: z %g must be positive", z)
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo := center - half
+	hi := center + half
+	// Snap the boundary cases exactly: at p = 0 (or 1) the Wilson bound is
+	// analytically 0 (or 1) but floating-point evaluation leaves an
+	// epsilon-sized residue that would exclude the point estimate.
+	if successes == 0 || lo < 0 {
+		lo = 0
+	}
+	if successes == n || hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
+}
+
+// ExtrapolatedInterval scales a proportion interval to an absolute count
+// interval over a population (confidence bounds for extrapolated failure
+// counts, §V-C Corollary 2).
+func ExtrapolatedInterval(iv Interval, population uint64) Interval {
+	return Interval{
+		Lo: iv.Lo * float64(population),
+		Hi: iv.Hi * float64(population),
+	}
+}

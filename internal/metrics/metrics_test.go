@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverage(t *testing.T) {
+	tests := []struct {
+		f, n uint64
+		want float64
+	}{
+		{48, 128, 0.625}, // the paper's Hi baseline
+		{48, 192, 0.75},  // after DFT
+		{0, 10, 1},
+		{10, 10, 0},
+	}
+	for _, tt := range tests {
+		got, err := Coverage(tt.f, tt.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Coverage(%d, %d) = %v, want %v", tt.f, tt.n, got, tt.want)
+		}
+	}
+	if _, err := Coverage(1, 0); err == nil {
+		t.Error("N=0 must error")
+	}
+	if _, err := Coverage(11, 10); err == nil {
+		t.Error("F>N must error")
+	}
+}
+
+func TestExtrapolateFailures(t *testing.T) {
+	got, err := ExtrapolateFailures(1000, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Errorf("got %v, want 50", got)
+	}
+	// A "full sample" (N = population, F = true F) is the identity.
+	got, err = ExtrapolateFailures(128, 48, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 48 {
+		t.Errorf("identity extrapolation = %v, want 48", got)
+	}
+	if _, err := ExtrapolateFailures(10, 0, 0); err == nil {
+		t.Error("N=0 must error")
+	}
+	if _, err := ExtrapolateFailures(10, 5, 4); err == nil {
+		t.Error("F>N must error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r, err := Ratio(5, 10)
+	if err != nil || r != 0.5 {
+		t.Errorf("Ratio(5,10) = %v, %v", r, err)
+	}
+	if _, err := Ratio(1, 0); err == nil {
+		t.Error("baseline 0 must error")
+	}
+	if _, err := Ratio(-1, 1); err == nil {
+		t.Error("negative hardened must error")
+	}
+}
+
+func TestPercentagePoints(t *testing.T) {
+	if got := PercentagePoints(0.75, 0.625); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("got %v, want 12.5", got)
+	}
+}
+
+func TestPoissonPMFBasics(t *testing.T) {
+	// λ=0: all mass at k=0.
+	p0, err := PoissonPMF(0, 0)
+	if err != nil || p0 != 1 {
+		t.Errorf("PMF(0,0) = %v, %v", p0, err)
+	}
+	p1, _ := PoissonPMF(0, 1)
+	if p1 != 0 {
+		t.Errorf("PMF(0,1) = %v, want 0", p1)
+	}
+	// Moderate λ: PMF sums to ~1.
+	const lambda = 3.5
+	var sum float64
+	for k := 0; k < 60; k++ {
+		p, err := PoissonPMF(lambda, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PMF sum = %v, want 1", sum)
+	}
+	if _, err := PoissonPMF(-1, 0); err == nil {
+		t.Error("negative lambda must error")
+	}
+	if _, err := PoissonPMF(1, -1); err == nil {
+		t.Error("negative k must error")
+	}
+}
+
+func TestPoissonTinyLambda(t *testing.T) {
+	// The paper's Table I regime: λ = g·w ≈ 1.33e-13.
+	lambda := MeanPaperRate.Lambda(1e9*8*1024*1024, 1e9)
+	if math.Abs(lambda-1.328e-13)/1.328e-13 > 0.01 {
+		t.Fatalf("lambda = %g, want ~1.328e-13", lambda)
+	}
+	p1, err := PoissonPMF(lambda, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-lambda)/lambda > 1e-9 {
+		t.Errorf("P(1) = %g, want ~λ = %g", p1, lambda)
+	}
+	p2, _ := PoissonPMF(lambda, 2)
+	want2 := lambda * lambda / 2
+	if math.Abs(p2-want2)/want2 > 1e-9 {
+		t.Errorf("P(2) = %g, want ~λ²/2 = %g", p2, want2)
+	}
+	// P(K>=2) must not collapse to 0 despite float cancellation.
+	tail, err := PoissonAtLeast(lambda, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail <= 0 || math.Abs(tail-want2)/want2 > 1e-6 {
+		t.Errorf("P(K>=2) = %g, want ~%g", tail, want2)
+	}
+	// Single-fault dominance: ~2/λ ≈ 1.5e13 (the §III-A argument).
+	dom, err := SingleFaultDominance(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom < 1e12 {
+		t.Errorf("dominance = %g, want > 1e12", dom)
+	}
+}
+
+func TestPoissonComplementZero(t *testing.T) {
+	got, err := PoissonComplementZero(1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || math.Abs(got-1e-15)/1e-15 > 1e-9 {
+		t.Errorf("1-P(0) = %g, want ~1e-15", got)
+	}
+	if _, err := PoissonComplementZero(-1); err == nil {
+		t.Error("negative lambda must error")
+	}
+}
+
+func TestPoissonAtLeastBounds(t *testing.T) {
+	if p, _ := PoissonAtLeast(5, 0); p != 1 {
+		t.Errorf("P(K>=0) = %v, want 1", p)
+	}
+	// Consistency: P(>=1) = 1 - P(0) for moderate λ.
+	p, _ := PoissonAtLeast(2, 1)
+	want := 1 - math.Exp(-2)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("P(K>=1) = %v, want %v", p, want)
+	}
+}
+
+func TestFITConversions(t *testing.T) {
+	// The paper: g = 0.057 FIT/Mbit ≈ 1.6e-29 per ns per bit.
+	g := MeanPaperRate.PerBitPerNs()
+	if math.Abs(g-1.583e-29)/1.583e-29 > 0.01 {
+		t.Errorf("g = %g, want ~1.58e-29", g)
+	}
+	// At 1 GHz a cycle is a nanosecond.
+	if got := MeanPaperRate.PerBitPerCycle(1e9); math.Abs(got-g)/g > 1e-12 {
+		t.Errorf("PerBitPerCycle(1GHz) = %g, want %g", got, g)
+	}
+	// At 2 GHz a cycle is half as long.
+	if got := MeanPaperRate.PerBitPerCycle(2e9); math.Abs(got-g/2)/g > 1e-12 {
+		t.Errorf("PerBitPerCycle(2GHz) = %g, want %g", got, g/2)
+	}
+	if MeanPaperRate.PerBitPerCycle(0) != 0 {
+		t.Error("zero clock must yield 0")
+	}
+	if math.Abs(float64(MeanPaperRate)-0.057) > 1e-12 {
+		t.Errorf("mean rate = %v, want 0.057", float64(MeanPaperRate))
+	}
+}
+
+func TestBuildFaultCountTable(t *testing.T) {
+	tbl, err := BuildFaultCountTable(MeanPaperRate, 1_000_000_000, 8<<20, 1e9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	if tbl.Rows[0].K != 0 || tbl.Rows[0].P < 0.999999 {
+		t.Errorf("P(0) = %v, want ~1", tbl.Rows[0].P)
+	}
+	// Table I's signature value: P(1) mantissa 1.328.
+	p1 := tbl.Rows[1].P
+	if math.Abs(p1-1.328e-13)/1.328e-13 > 0.001 {
+		t.Errorf("P(1) = %g, want 1.328e-13", p1)
+	}
+	// Monotonically decreasing for k >= 1 in this regime.
+	for k := 1; k < 5; k++ {
+		if tbl.Rows[k+1].P >= tbl.Rows[k].P {
+			t.Errorf("P(%d) = %g not below P(%d) = %g", k+1, tbl.Rows[k+1].P, k, tbl.Rows[k].P)
+		}
+	}
+	if _, err := BuildFaultCountTable(MeanPaperRate, 1, 1, 1e9, -1); err == nil {
+		t.Error("negative kMax must error")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	iv, err := WilsonInterval(50, 100, Z95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(0.5) {
+		t.Errorf("interval %+v must contain 0.5", iv)
+	}
+	if iv.Lo < 0.39 || iv.Hi > 0.61 {
+		t.Errorf("interval %+v too wide for n=100", iv)
+	}
+	// Extremes behave sanely.
+	iv0, _ := WilsonInterval(0, 100, Z95)
+	if iv0.Lo != 0 || iv0.Hi <= 0 || iv0.Hi > 0.05 {
+		t.Errorf("zero-success interval %+v", iv0)
+	}
+	ivN, _ := WilsonInterval(100, 100, Z95)
+	if ivN.Hi != 1 || ivN.Lo >= 1 || ivN.Lo < 0.95 {
+		t.Errorf("all-success interval %+v", ivN)
+	}
+	for _, bad := range []struct {
+		s, n uint64
+		z    float64
+	}{{1, 0, Z95}, {5, 4, Z95}, {1, 10, 0}} {
+		if _, err := WilsonInterval(bad.s, bad.n, bad.z); err == nil {
+			t.Errorf("WilsonInterval(%v) must error", bad)
+		}
+	}
+}
+
+// TestWilsonIntervalQuick property-tests the interval: bounds ordered,
+// within [0,1], containing the point estimate, and shrinking with n.
+func TestWilsonIntervalQuick(t *testing.T) {
+	f := func(s uint16, nRaw uint16) bool {
+		n := uint64(nRaw%1000) + 1
+		succ := uint64(s) % (n + 1)
+		iv, err := WilsonInterval(succ, n, Z95)
+		if err != nil {
+			return false
+		}
+		p := float64(succ) / float64(n)
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			return false
+		}
+		if !iv.Contains(p) {
+			return false
+		}
+		big, err := WilsonInterval(succ*10, n*10, Z95)
+		if err != nil {
+			return false
+		}
+		return big.Width() <= iv.Width()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricIdentitiesQuick property-tests DESIGN.md invariant 4:
+// coverage/extrapolation identities and the ratio's invariance under
+// uniform fault-rate scaling (the §I-A hardware-FI argument).
+func TestMetricIdentitiesQuick(t *testing.T) {
+	f := func(fRaw, wRaw uint32, scaleRaw uint8) bool {
+		w := uint64(wRaw%100000) + 1
+		fail := uint64(fRaw) % (w + 1)
+
+		// Coverage identity: c = 1 − F/w exactly.
+		c, err := Coverage(fail, w)
+		if err != nil || c != 1-float64(fail)/float64(w) {
+			return false
+		}
+		// Full-sample extrapolation is the identity.
+		ext, err := ExtrapolateFailures(w, fail, w)
+		if err != nil || ext != float64(fail) {
+			return false
+		}
+		// Ratio is invariant under uniform scaling of both failure counts
+		// (a fault-rate increase hits baseline and hardened alike).
+		if fail == 0 {
+			return true
+		}
+		scale := float64(scaleRaw%100) + 1
+		r1, err := Ratio(float64(fail), float64(w))
+		if err != nil {
+			return false
+		}
+		r2, err := Ratio(scale*float64(fail), scale*float64(w))
+		if err != nil {
+			return false
+		}
+		return math.Abs(r1-r2) <= 1e-12*r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtrapolatedInterval(t *testing.T) {
+	iv := Interval{Lo: 0.1, Hi: 0.2}
+	got := ExtrapolatedInterval(iv, 1000)
+	if got.Lo != 100 || got.Hi != 200 {
+		t.Errorf("got %+v, want [100, 200]", got)
+	}
+	if got.Width() != 100 {
+		t.Errorf("width = %v, want 100", got.Width())
+	}
+}

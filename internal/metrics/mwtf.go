@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// MWTF computes the Mean Work To Failure metric of Reis et al. (discussed
+// in the paper's §VII): the expected amount of work completed per
+// encountered failure,
+//
+//	MWTF = work / (raw error rate · AVF · execution time)
+//	     = work / P(Failure per run)    for one run's worth of work
+//	     ≈ work / (g · F)               by the paper's Equation 5/6,
+//
+// where g is the per-bit per-cycle fault rate and F the absolute failure
+// count over the run's complete fault space. Unlike the fault-coverage
+// factor, MWTF inherits F's property of charging a mechanism for its
+// space and time overhead, so MWTF-based comparisons order programs
+// exactly like the paper's extrapolated-failure-count metric:
+// MWTF_hardened/MWTF_baseline = 1/r (for equal work units).
+func MWTF(workUnits float64, failures uint64, g float64) (float64, error) {
+	if workUnits <= 0 {
+		return 0, fmt.Errorf("metrics: MWTF work units %g must be positive", workUnits)
+	}
+	if g <= 0 {
+		return 0, fmt.Errorf("metrics: MWTF fault rate %g must be positive", g)
+	}
+	if failures == 0 {
+		return math.Inf(1), nil
+	}
+	return workUnits / (g * float64(failures)), nil
+}
+
+// MWTFGain computes the relative MWTF improvement of a hardened variant
+// over its baseline, with one benchmark run as the unit of work:
+// MWTF_h/MWTF_b = F_baseline/F_hardened = 1/r. A gain above 1 means the
+// hardened variant completes more work between failures. The gain is +Inf
+// when the hardened variant shows no failures at all.
+func MWTFGain(baselineFailures, hardenedFailures uint64) (float64, error) {
+	if baselineFailures == 0 {
+		return 0, fmt.Errorf("metrics: MWTF gain undefined for failure-free baseline")
+	}
+	if hardenedFailures == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(baselineFailures) / float64(hardenedFailures), nil
+}

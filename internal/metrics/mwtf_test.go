@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMWTF(t *testing.T) {
+	g := MeanPaperRate.PerBitPerCycle(1e9)
+	m, err := MWTF(1, 48, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One run of work, 48 failing coordinates: MWTF = 1/(g·48).
+	want := 1 / (g * 48)
+	if math.Abs(m-want)/want > 1e-12 {
+		t.Errorf("MWTF = %g, want %g", m, want)
+	}
+	inf, err := MWTF(1, 0, g)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("failure-free MWTF = %v, %v; want +Inf", inf, err)
+	}
+	if _, err := MWTF(0, 1, g); err == nil {
+		t.Error("zero work must error")
+	}
+	if _, err := MWTF(1, 1, 0); err == nil {
+		t.Error("zero rate must error")
+	}
+}
+
+func TestMWTFGain(t *testing.T) {
+	gain, err := MWTFGain(100, 25)
+	if err != nil || gain != 4 {
+		t.Errorf("gain = %v, %v; want 4", gain, err)
+	}
+	// MWTF gain is exactly the inverse of the comparison ratio r.
+	r, err := Ratio(25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gain-1/r) > 1e-12 {
+		t.Errorf("MWTF gain %v != 1/r %v", gain, 1/r)
+	}
+	inf, err := MWTFGain(100, 0)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("gain with zero hardened failures = %v, %v; want +Inf", inf, err)
+	}
+	if _, err := MWTFGain(0, 1); err == nil {
+		t.Error("failure-free baseline must error")
+	}
+}

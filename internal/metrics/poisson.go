@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// PoissonPMF returns P_λ(k) = λᵏ/k! · e^{−λ} (Equation 1 of the paper):
+// the probability that exactly k independent faults hit one benchmark run,
+// with λ = g·w the expected fault count.
+//
+// For the extremely small λ of realistic soft-error rates, the naive
+// formula is numerically fine: λᵏ/k! underflows gracefully and e^{−λ} ≈ 1.
+func PoissonPMF(lambda float64, k int) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("metrics: negative Poisson parameter %g", lambda)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("metrics: negative fault count %d", k)
+	}
+	// Compute in log space to stay stable for large k or λ.
+	logp := float64(k)*math.Log(lambda) - lambda - logFactorial(k)
+	if k == 0 {
+		logp = -lambda
+	}
+	return math.Exp(logp), nil
+}
+
+// PoissonAtLeast returns P(K ≥ k) = Σ_{i≥k} P_λ(i).
+//
+// For small λ the complement form 1 − Σ_{i<k} P_λ(i) cancels
+// catastrophically (the paper's Table I works at λ ≈ 10⁻¹³ where
+// P(K ≥ 2) ≈ λ²/2 is 10 orders of magnitude below float64's resolution
+// around 1), so the upper tail is summed directly; the terms decay at
+// least geometrically once i > λ.
+func PoissonAtLeast(lambda float64, k int) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("metrics: negative Poisson parameter %g", lambda)
+	}
+	if k <= 0 {
+		return 1, nil
+	}
+	term, err := PoissonPMF(lambda, k)
+	if err != nil {
+		return 0, err
+	}
+	sum := term
+	for i := k + 1; ; i++ {
+		term *= lambda / float64(i)
+		if term < sum*1e-18 || term == 0 {
+			break
+		}
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum, nil
+}
+
+// PoissonComplementZero returns 1 − P_λ(0) = 1 − e^{−λ}, the probability
+// that at least one fault hits the run. For tiny λ it evaluates
+// −expm1(−λ) to avoid catastrophic cancellation (the paper's Table I works
+// at λ ≈ 10⁻¹³, far below float64's 1-ulp).
+func PoissonComplementZero(lambda float64) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("metrics: negative Poisson parameter %g", lambda)
+	}
+	return -math.Expm1(-lambda), nil
+}
+
+// SingleFaultDominance quantifies §III-A's "improbable independent faults"
+// argument: the ratio P_λ(1) / P(K ≥ 2). A large ratio justifies injecting
+// a single fault per experiment.
+func SingleFaultDominance(lambda float64) (float64, error) {
+	p1, err := PoissonPMF(lambda, 1)
+	if err != nil {
+		return 0, err
+	}
+	pge2, err := PoissonAtLeast(lambda, 2)
+	if err != nil {
+		return 0, err
+	}
+	if pge2 == 0 {
+		return math.Inf(1), nil
+	}
+	return p1 / pge2, nil
+}
+
+func logFactorial(k int) float64 {
+	var s float64
+	for i := 2; i <= k; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}

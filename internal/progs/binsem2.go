@@ -1,0 +1,114 @@
+package progs
+
+import "fmt"
+
+// BinSem2 returns the bin_sem2 benchmark: a port of the eCos kernel test
+// of the same name. Two threads ping-pong through a pair of binary
+// semaphores; the worker thread increments a shared counter and the main
+// thread verifies its progression every round, so corrupted kernel state
+// or counters surface as output deviations.
+//
+// All kernel state (semaphores, current-thread id, saved thread contexts,
+// the shared counter) is long-lived protected data — the kind of data the
+// SUM+DMR mechanism of the paper's data set targets. There is no large
+// unprotected long-lived buffer, which is why hardening genuinely pays off
+// for this benchmark (Figure 2e: bin_sem2 improves).
+//
+// niter is the number of ping-pong rounds (the paper's runs used the eCos
+// default; pick 3-8 to keep full fault-space scans fast). Values below 1
+// are clamped to 1.
+func BinSem2(niter int) Spec {
+	if niter < 1 {
+		niter = 1
+	}
+	l := kernelLayout{
+		MsgBufAddr: 0,
+		MsgLen:     niter, // one logged byte per round
+		Stack0Top:  alignUp(niter, 4) + 16,
+		Stack1Top:  alignUp(niter, 4) + 32,
+		ProtBase:   alignUp(niter, 4) + 32,
+	}
+	body := `
+        .text
+start:
+        li      sp, STACK0_TOP
+        pst     r0, CURTID(r0)
+        pst     r0, SEM0(r0)
+        pst     r0, SEM1(r0)
+        pst     r0, COUNTER(r0)
+        pst     r0, DONE(r0)
+        li      r1, thread1
+        call    ctx1_init
+
+        li      r4, 0                   ; r4 = round counter
+main_loop:
+        li      r1, SEM0
+        call    sem_post                ; hand the ball to the worker
+        li      r1, SEM1
+        call    sem_wait                ; wait until the worker is done
+        pld     r2, COUNTER(r0)
+        addi    r3, r4, 1
+        bne     r2, r3, fail            ; counter must have advanced once
+        andi    r1, r4, 7
+        addi    r1, r1, 'a'
+        sb      r1, SERIAL(r0)
+        addi    r3, r4, MSGBUF          ; log the round marker; the log is
+        sb      r1, 0(r3)               ; unprotected application data
+        inc     r4
+        li      r1, NITER
+        blt     r4, r1, main_loop
+wait_done:
+        pld     r2, DONE(r0)
+        bne     r2, r0, replay
+        call    kyield
+        jmp     wait_done
+replay:                                 ; echo the round log
+        li      r4, 0
+rp_loop:
+        addi    r3, r4, MSGBUF
+        lb      r1, 0(r3)
+        sb      r1, SERIAL(r0)
+        inc     r4
+        li      r1, NITER
+        blt     r4, r1, rp_loop
+        li      r1, 'P'
+        sb      r1, SERIAL(r0)
+        li      r1, '\n'
+        sb      r1, SERIAL(r0)
+        halt
+fail:
+        li      r1, '!'
+        sb      r1, SERIAL(r0)
+        halt
+
+thread1:
+        li      r4, 0
+t1_loop:
+        li      r1, SEM0
+        call    sem_wait
+        pld     r2, COUNTER(r0)
+        inc     r2
+        pst     r2, COUNTER(r0)
+        andi    r1, r4, 7
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        li      r1, SEM1
+        call    sem_post
+        inc     r4
+        li      r1, NITER
+        blt     r4, r1, t1_loop
+        li      r2, 1
+        pst     r2, DONE(r0)
+t1_idle:
+        call    kyield
+        jmp     t1_idle
+`
+	return Spec{
+		Name:           fmt.Sprintf("bin_sem2(n=%d)", niter),
+		BaselineSrc:    l.prologue(l.baselineRAM(), niter, false) + body + kernelAsm,
+		HardenedSrc:    l.prologue(l.hardenedRAM(), niter, true) + body + kernelAsm,
+		HardenedTMRSrc: l.prologue(l.hardenedRAM(), niter, false) + body + kernelAsm,
+		DMR:            l.dmr(),
+		DataAddrs:      []int64{int64(l.ProtBase), int64(l.ProtBase + 24)},
+	}
+}

@@ -1,0 +1,61 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClock1GoldenOutput(t *testing.T) {
+	for _, cfg := range []struct {
+		nticks int
+		period uint64
+	}{{1, 64}, {4, 64}, {6, 128}, {3, 40}} {
+		spec := Clock1(cfg.nticks, cfg.period)
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, spec, hardened)
+			g := goldenOf(t, p)
+			out := string(g.Serial)
+			wantTicks := strings.Repeat("t", cfg.nticks)
+			if !strings.HasPrefix(out, wantTicks) || strings.Count(out, "t") != cfg.nticks {
+				t.Errorf("%s: output %q, want exactly %d ticks", p.Name, out, cfg.nticks)
+			}
+			if !strings.HasSuffix(out, "P\n") {
+				t.Errorf("%s: output %q does not end in P", p.Name, out)
+			}
+			// ticks + 2 checksum chars + "P\n".
+			if len(out) != cfg.nticks+4 {
+				t.Errorf("%s: output length %d, want %d", p.Name, len(out), cfg.nticks+4)
+			}
+		}
+	}
+}
+
+func TestClock1VariantsAgree(t *testing.T) {
+	spec := Clock1(5, 64)
+	gb := goldenOf(t, buildVariant(t, spec, false))
+	gh := goldenOf(t, buildVariant(t, spec, true))
+	if string(gb.Serial) != string(gh.Serial) {
+		t.Errorf("baseline %q != hardened %q", gb.Serial, gh.Serial)
+	}
+	if gh.Cycles <= gb.Cycles {
+		t.Error("hardened clock1 must be slower")
+	}
+}
+
+func TestClock1PeriodClamp(t *testing.T) {
+	p := buildVariant(t, Clock1(2, 1), false)
+	if p.TimerPeriod < 32 {
+		t.Errorf("period = %d, want clamped to >= 32", p.TimerPeriod)
+	}
+}
+
+func TestClock1RuntimeScalesWithTicks(t *testing.T) {
+	prev := uint64(0)
+	for _, n := range []int{1, 4, 8} {
+		g := goldenOf(t, buildVariant(t, Clock1(n, 64), false))
+		if g.Cycles <= prev {
+			t.Errorf("n=%d: cycles %d did not grow past %d", n, g.Cycles, prev)
+		}
+		prev = g.Cycles
+	}
+}

@@ -1,0 +1,40 @@
+package progs
+
+// Hi returns the paper's §IV-A "Hi" benchmark (Figure 3): eight
+// instructions, two bytes of RAM, eight cycles. The program stores 'H' and
+// 'i' into memory and echoes both bytes on the serial interface.
+//
+// Its fault space is exactly the paper's: Δt = 8 cycles × Δm = 16 bits,
+// N = 128 coordinates, of which F = 2 bytes × 8 bits × 3 cycles = 48 are
+// failures ("Failure" when the fault hits a byte while the datum lives
+// there), giving c_baseline = 1 − 48/128 = 62.5 %.
+//
+// Applying harden.Dilution{NOPs: 4} (DFT) yields the paper's hardened
+// variant: Δt = 12, N = 192, F = 48, c = 75.0 % — a coverage gain from a
+// transformation that provably prevents nothing.
+func Hi() Spec {
+	const src = `
+; "Hi" -- the fault-space dilution Gedankenexperiment (DSN'15, Fig. 3).
+        .ram    2               ; two bytes: msg[0], msg[1]
+        .equ    SERIAL, 0x10000
+
+        .data
+msg:    .space  2
+
+        .text
+        sbi     'H', msg+0(r0)  ; cycle 1: W msg[0]
+        nop                     ; cycle 2
+        sbi     'i', msg+1(r0)  ; cycle 3: W msg[1]
+        lb      r1, msg+0(r0)   ; cycle 4: R msg[0]
+        sb      r1, SERIAL(r0)  ; cycle 5: emit 'H' (MMIO, not fault space)
+        lb      r2, msg+1(r0)   ; cycle 6: R msg[1]
+        sb      r2, SERIAL(r0)  ; cycle 7: emit 'i'
+        halt                    ; cycle 8
+`
+	return Spec{
+		Name:        "hi",
+		BaselineSrc: src,
+		HardenedSrc: src, // no protected data; SUM+DMR is an identity here
+		DataAddrs:   []int64{0, 1},
+	}
+}

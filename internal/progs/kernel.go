@@ -1,0 +1,315 @@
+package progs
+
+import (
+	"fmt"
+
+	"faultspace/internal/harden"
+)
+
+// The kernel keeps all of its state — current thread id, semaphore and
+// mutex words, shared test variables, per-thread register spill slots, and
+// the two saved thread contexts — in one contiguous "protected" region of
+// protWords words. Protected words are accessed exclusively through
+// pld/pst, and every kernel entry (kyield) runs a pchk whole-region check,
+// so the SUM+DMR variant replicates and scrubs exactly this region:
+//
+//	[ProtBase, ProtBase+176)      primaries (44 words)
+//	[ProtBase+176, ProtBase+352)  replicas   (hardened variant only)
+//	[ProtBase+352, ProtBase+528)  checksums  (hardened variant only)
+const (
+	protWords     = 44
+	protBytes     = protWords * 4
+	replicaOffset = protBytes
+	checkOffset   = 2 * protBytes
+
+	// mboxCap is the mailbox capacity in messages (a power of two).
+	mboxCap = 4
+)
+
+// kernelLayout fixes the RAM layout of a kernel benchmark.
+type kernelLayout struct {
+	MsgBufAddr int // start of the unprotected message buffer (sync2)
+	MsgLen     int // buffer length in bytes (0 = no buffer)
+	Stack0Top  int // initial stack pointer of thread 0 (main)
+	Stack1Top  int // initial stack pointer of thread 1
+	ProtBase   int // start of the protected region
+}
+
+func (l kernelLayout) baselineRAM() int { return l.ProtBase + protBytes }
+func (l kernelLayout) hardenedRAM() int { return l.ProtBase + 3*protBytes }
+
+// dmr returns the SUM+DMR configuration matching this layout.
+func (l kernelLayout) dmr() harden.SumDMR {
+	return harden.SumDMR{
+		ReplicaOffset: replicaOffset,
+		CheckOffset:   checkOffset,
+		RegionBase:    int64(l.ProtBase),
+		RegionWords:   protWords,
+	}
+}
+
+// prologue emits the .ram directive and the .equ constants shared by all
+// kernel benchmarks. niter is the benchmark's iteration count. For the
+// hardened variant it also initializes the checksum region to the one's
+// complement of the zeroed primaries, so fresh (never-stored) protected
+// words are already consistent and pchk does not scrub phantom errors.
+func (l kernelLayout) prologue(ramBytes, niter int, hardened bool) string {
+	checkInit := ""
+	if hardened {
+		checkInit = fmt.Sprintf("\n        .data\n        .org    %d\n", l.ProtBase+checkOffset)
+		for i := 0; i < protWords; i++ {
+			checkInit += "        .word   -1\n"
+		}
+		checkInit += "        .text\n"
+	}
+	return fmt.Sprintf(`
+        .ram    %d
+        .equ    SERIAL,  0x10000
+        .equ    NITER,   %d
+        .equ    MSGBUF,  %d
+        .equ    MSGLEN,  %d
+        .equ    STACK0_TOP, %d
+        .equ    STACK1_TOP, %d
+
+; Protected kernel region (primaries). The SUM+DMR variant keeps a replica
+; of every word at +%d and its one's-complement checksum at +%d.
+        .equ    PROT,    %d
+        .equ    CURTID,  PROT+0
+        .equ    SEM0,    PROT+4
+        .equ    SEM1,    PROT+8
+        .equ    MUTEX,   PROT+12
+        .equ    FLAG,    PROT+16
+        .equ    ACK,     PROT+20
+        .equ    COUNTER, PROT+24
+        .equ    DONE,    PROT+28
+        .equ    CONDSEQ, PROT+32
+        .equ    SPILL0,  PROT+36        ; 2 words: per-thread lr/arg spill
+        .equ    SPILL1,  PROT+44
+        .equ    CTX0,    PROT+52        ; 9 words: saved thread context
+        .equ    CTX1,    PROT+88
+        .equ    CTXSZ,   36
+        .equ    SPILLB0, PROT+124       ; 2 words: mailbox-call spill
+        .equ    SPILLB1, PROT+132
+        .equ    MB_HEAD, PROT+140       ; mailbox: ring indices,
+        .equ    MB_TAIL, PROT+144       ; counting semaphores and slots
+        .equ    MB_FREE, PROT+148
+        .equ    MB_USED, PROT+152
+        .equ    MB_SLOTS, PROT+156      ; %d message words
+        .equ    MB_CAP,  %d
+%s`, ramBytes, niter, l.MsgBufAddr, l.MsgLen, l.Stack0Top, l.Stack1Top,
+		replicaOffset, checkOffset, l.ProtBase, mboxCap, mboxCap, checkInit)
+}
+
+// kernelAsm implements the cooperative two-thread kernel:
+//
+//	kyield        switch to the other thread (checks the protected region)
+//	sem_wait      P() on the semaphore whose address is in r1
+//	sem_post      V() on the semaphore at r1
+//	mutex_lock    acquire the mutex at r1 (spins with kyield)
+//	mutex_unlock  release the mutex at r1
+//	ctx1_init     prepare thread 1 to start at the address in r1
+//
+// Register conventions: r1-r3 are caller-saved scratch/argument registers,
+// r4-r10 are callee-saved (preserved across kyield and the blocking calls),
+// r11/r12 are reserved for the hardening expansions, r14 = sp, r15 = lr.
+//
+// Blocking calls spill lr and their argument into the per-thread protected
+// SPILL slots instead of a RAM stack: those values live across the whole
+// blocked period — precisely the "critical data with long lifetimes" the
+// paper's SUM+DMR library targets.
+//
+// kyield stores the caller-visible context into the protected CTX slot of
+// the current thread and restores the other thread's context, including lr,
+// so a blocked thread resumes exactly after its kyield call site. On entry
+// it executes pchk: the GOP-style whole-region verification that gives the
+// hardened variant its (faithful) runtime overhead and scrubs latent
+// errors.
+const kernelAsm = `
+; --------------------------------------------------------------------
+; fav32 cooperative threading kernel (two threads)
+; --------------------------------------------------------------------
+kyield:
+        pchk                            ; verify/scrub protected region
+        pld     r1, CURTID(r0)
+        li      r2, CTXSZ
+        mul     r2, r1, r2
+        addi    r2, r2, CTX0
+        pst     r4, 0(r2)
+        pst     r5, 4(r2)
+        pst     r6, 8(r2)
+        pst     r7, 12(r2)
+        pst     r8, 16(r2)
+        pst     r9, 20(r2)
+        pst     r10, 24(r2)
+        pst     sp, 28(r2)
+        pst     lr, 32(r2)
+        xori    r1, r1, 1
+        pst     r1, CURTID(r0)
+        li      r2, CTXSZ
+        mul     r2, r1, r2
+        addi    r2, r2, CTX0
+        pld     r4, 0(r2)
+        pld     r5, 4(r2)
+        pld     r6, 8(r2)
+        pld     r7, 12(r2)
+        pld     r8, 16(r2)
+        pld     r9, 20(r2)
+        pld     r10, 24(r2)
+        pld     sp, 28(r2)
+        pld     lr, 32(r2)
+        ret
+
+; ctx1_init: set up thread 1 to start at the address in r1 with a fresh
+; stack. Clobbers r2, r3.
+ctx1_init:
+        li      r2, CTX1
+        pst     r0, 0(r2)
+        pst     r0, 4(r2)
+        pst     r0, 8(r2)
+        pst     r0, 12(r2)
+        pst     r0, 16(r2)
+        pst     r0, 20(r2)
+        pst     r0, 24(r2)
+        li      r3, STACK1_TOP
+        pst     r3, 28(r2)
+        pst     r1, 32(r2)
+        ret
+
+; spill_base (inlined pattern): r2 <- SPILL0 + 8*CURTID
+
+; sem_wait: P() on the semaphore at address r1. Blocks cooperatively.
+; Clobbers r1-r3. Like every kernel entry it verifies the protected region
+; (pchk) before touching kernel state.
+sem_wait:
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILL0
+        pst     lr, 0(r2)
+        pst     r1, 4(r2)
+        pchk
+        jmp     sw_reload
+sw_block:
+        call    kyield
+sw_reload:
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILL0
+        pld     r1, 4(r2)
+        pld     r3, 0(r1)
+        blt     r0, r3, sw_take
+        jmp     sw_block
+sw_take:
+        addi    r3, r3, -1
+        pst     r3, 0(r1)
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILL0
+        pld     lr, 0(r2)
+        ret
+
+; sem_post: V() on the semaphore at address r1. Clobbers r2.
+sem_post:
+        pld     r2, 0(r1)
+        inc     r2
+        pst     r2, 0(r1)
+        ret
+
+; mutex_lock: acquire the mutex at address r1; the owner field holds
+; 1 + thread id. Blocks cooperatively. Clobbers r1-r3.
+mutex_lock:
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILL0
+        pst     lr, 0(r2)
+        pst     r1, 4(r2)
+        pchk
+        jmp     ml_reload
+ml_block:
+        call    kyield
+ml_reload:
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILL0
+        pld     r1, 4(r2)
+        pld     r2, 0(r1)
+        beq     r2, r0, ml_take
+        jmp     ml_block
+ml_take:
+        pld     r3, CURTID(r0)
+        inc     r3
+        pst     r3, 0(r1)
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILL0
+        pld     lr, 0(r2)
+        ret
+
+; mutex_unlock: release the mutex at address r1.
+mutex_unlock:
+        pst     r0, 0(r1)
+        ret
+
+; mbox_init: empty the mailbox (free = MB_CAP, used = 0). Clobbers r2.
+mbox_init:
+        pst     r0, MB_HEAD(r0)
+        pst     r0, MB_TAIL(r0)
+        li      r2, MB_CAP
+        pst     r2, MB_FREE(r0)
+        pst     r0, MB_USED(r0)
+        ret
+
+; mbox_put: enqueue the message word in r1; blocks while the mailbox is
+; full. Clobbers r1-r3. The message and lr live in the per-thread SPILLB
+; slots across the blocking wait (sem_wait owns the primary SPILL slots).
+mbox_put:
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILLB0
+        pst     lr, 0(r2)
+        pst     r1, 4(r2)
+        li      r1, MB_FREE
+        call    sem_wait
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILLB0
+        pld     r3, 4(r2)               ; the message
+        pld     r1, MB_TAIL(r0)
+        andi    r2, r1, MB_CAP-1
+        shli    r2, r2, 2
+        addi    r2, r2, MB_SLOTS
+        pst     r3, 0(r2)
+        inc     r1
+        pst     r1, MB_TAIL(r0)
+        li      r1, MB_USED
+        call    sem_post
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILLB0
+        pld     lr, 0(r2)
+        ret
+
+; mbox_get: dequeue a message into r1; blocks while the mailbox is empty.
+; Clobbers r1-r3.
+mbox_get:
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILLB0
+        pst     lr, 0(r2)
+        li      r1, MB_USED
+        call    sem_wait
+        pld     r1, MB_HEAD(r0)
+        andi    r2, r1, MB_CAP-1
+        shli    r2, r2, 2
+        addi    r2, r2, MB_SLOTS
+        pld     r3, 0(r2)               ; the message
+        inc     r1
+        pst     r1, MB_HEAD(r0)
+        li      r1, MB_FREE
+        call    sem_post                ; r3 survives: sem_post clobbers r2 only
+        pld     r2, CURTID(r0)
+        shli    r2, r2, 3
+        addi    r2, r2, SPILLB0
+        pld     lr, 0(r2)
+        mov     r1, r3
+        ret
+`

@@ -1,0 +1,180 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"faultspace/internal/asm"
+)
+
+// expectedBinSem2Output computes the reference output of bin_sem2: per
+// round the worker emits 'A'+i, the main thread 'a'+i (i mod 8), then the
+// round log is replayed and "P\n" ends the run.
+func expectedBinSem2Output(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('A' + i&7))
+		sb.WriteByte(byte('a' + i&7))
+	}
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + i&7))
+	}
+	sb.WriteString("P\n")
+	return sb.String()
+}
+
+// expectedSync2Output computes the reference output of sync2: the consumer
+// emits 'a'+i for i = 1..n, then the buffer checksum as two base-16 chars,
+// then the producer's "P\n".
+func expectedSync2Output(n, msgLen int) string {
+	var sb strings.Builder
+	for i := 1; i <= n; i++ {
+		sb.WriteByte(byte('a' + i&7))
+	}
+	// Replicate the fill + XOR + fold pipeline.
+	var x uint32
+	for i := 0; i < msgLen/4; i++ {
+		x ^= uint32(i)*0x9E3779B9 + 0x1234567
+	}
+	x ^= x >> 16
+	x ^= x >> 8
+	sb.WriteByte(byte('A' + (x>>4)&15))
+	sb.WriteByte(byte('A' + x&15))
+	sb.WriteString("P\n")
+	return sb.String()
+}
+
+func TestBinSem2GoldenOutput(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		spec := BinSem2(n)
+		want := expectedBinSem2Output(n)
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, spec, hardened)
+			g := goldenOf(t, p)
+			if string(g.Serial) != want {
+				t.Errorf("%s n=%d: output %q, want %q", p.Name, n, g.Serial, want)
+			}
+		}
+	}
+}
+
+func TestSync2GoldenOutput(t *testing.T) {
+	for _, cfg := range []struct{ n, buf int }{{1, 4}, {2, 32}, {3, 64}, {4, 128}} {
+		spec := Sync2(cfg.n, cfg.buf)
+		want := expectedSync2Output(cfg.n, cfg.buf)
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, spec, hardened)
+			g := goldenOf(t, p)
+			if string(g.Serial) != want {
+				t.Errorf("%s: output %q, want %q", p.Name, g.Serial, want)
+			}
+		}
+	}
+}
+
+func buildVariant(t *testing.T, spec Spec, hardened bool) *asm.Program {
+	t.Helper()
+	build := spec.Baseline
+	if hardened {
+		build = spec.Hardened
+	}
+	p, err := build()
+	if err != nil {
+		t.Fatalf("build %s (hardened=%v): %v", spec.Name, hardened, err)
+	}
+	return p
+}
+
+func TestHardeningCostsRuntimeAndMemory(t *testing.T) {
+	for _, spec := range []Spec{BinSem2(3), Sync2(2, 32)} {
+		base := buildVariant(t, spec, false)
+		hard := buildVariant(t, spec, true)
+		gb := goldenOf(t, base)
+		gh := goldenOf(t, hard)
+		if gh.Cycles <= gb.Cycles {
+			t.Errorf("%s: hardened cycles %d <= baseline %d", spec.Name, gh.Cycles, gb.Cycles)
+		}
+		if hard.RAMSize != base.RAMSize+2*protBytes {
+			t.Errorf("%s: hardened RAM %d, want baseline %d + %d",
+				spec.Name, hard.RAMSize, base.RAMSize, 2*protBytes)
+		}
+		// The hardened golden run must not signal any corrections: there
+		// are no faults to correct, and phantom scrubs would bias the
+		// outcome classifier.
+		if gh.Corrects != 0 || gh.Detects != 0 {
+			t.Errorf("%s: golden hardened run signalled %d detects / %d corrects",
+				spec.Name, gh.Detects, gh.Corrects)
+		}
+	}
+}
+
+func TestClampedParameters(t *testing.T) {
+	// Degenerate parameters are clamped, not rejected: both loops are
+	// do-while shaped, so one round is the minimum meaningful workload.
+	for _, spec := range []Spec{BinSem2(0), BinSem2(-3)} {
+		p := buildVariant(t, spec, false)
+		g := goldenOf(t, p)
+		if string(g.Serial) != expectedBinSem2Output(1) {
+			t.Errorf("%s: output %q, want clamp to n=1", spec.Name, g.Serial)
+		}
+	}
+	p := buildVariant(t, Sync2(0, 0), false)
+	g := goldenOf(t, p)
+	if string(g.Serial) != expectedSync2Output(1, 4) {
+		t.Errorf("sync2 clamp: output %q, want %q", g.Serial, expectedSync2Output(1, 4))
+	}
+	// Odd buffer sizes round up to words.
+	p = buildVariant(t, Sync2(2, 30), false)
+	g = goldenOf(t, p)
+	if string(g.Serial) != expectedSync2Output(2, 32) {
+		t.Errorf("sync2 align: output %q, want %q", g.Serial, expectedSync2Output(2, 32))
+	}
+}
+
+func TestRuntimeScalesWithRounds(t *testing.T) {
+	prev := uint64(0)
+	for _, n := range []int{1, 3, 6} {
+		p := buildVariant(t, BinSem2(n), false)
+		g := goldenOf(t, p)
+		if g.Cycles <= prev {
+			t.Errorf("n=%d: cycles %d did not grow past %d", n, g.Cycles, prev)
+		}
+		prev = g.Cycles
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Resolve(name, Sizes{})
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", name, err)
+			continue
+		}
+		if spec.Name == "" || spec.BaselineSrc == "" {
+			t.Errorf("Resolve(%q): incomplete spec", name)
+		}
+	}
+	if _, err := Resolve("nonsense", Sizes{}); err == nil {
+		t.Error("unknown benchmark must be rejected")
+	}
+	spec, err := Resolve("sync2", Sizes{SyncRounds: 5, SyncBufBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != fmt.Sprintf("sync2(n=%d,buf=%d)", 5, 16) {
+		t.Errorf("sizes not applied: %s", spec.Name)
+	}
+}
+
+func TestVariantNaming(t *testing.T) {
+	spec := BinSem2(2)
+	base := buildVariant(t, spec, false)
+	hard := buildVariant(t, spec, true)
+	if !strings.HasSuffix(base.Name, "/baseline") {
+		t.Errorf("baseline name = %q", base.Name)
+	}
+	if !strings.HasSuffix(hard.Name, "/sum+dmr") {
+		t.Errorf("hardened name = %q", hard.Name)
+	}
+}

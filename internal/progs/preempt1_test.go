@@ -1,0 +1,82 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectedPreempt1Output mirrors the two compute threads: XOR-fold of
+// their respective hash sequences, printed as two base-16 pairs.
+func expectedPreempt1Output(nwork int) string {
+	fold := func(mult uint32) string {
+		var x uint32
+		for i := 0; i < nwork; i++ {
+			x ^= uint32(i) * mult
+		}
+		x ^= x >> 16
+		x ^= x >> 8
+		return string([]byte{byte('A' + (x>>4)&15), byte('A' + x&15)})
+	}
+	return fold(0x9E3779B9) + fold(0x85EBCA6B) + "P\n"
+}
+
+func TestPreempt1GoldenOutput(t *testing.T) {
+	for _, nwork := range []int{1, 10, 40, 100} {
+		spec := Preempt1(nwork, 48)
+		want := expectedPreempt1Output(nwork)
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, spec, hardened)
+			g := goldenOf(t, p)
+			if string(g.Serial) != want {
+				t.Errorf("%s: output %q, want %q", p.Name, g.Serial, want)
+			}
+		}
+	}
+}
+
+// TestPreempt1PeriodInvariance is the crucial preemption property: the
+// computed RESULT values must not depend on where the timer slices the
+// threads. Any context-switch bug (a register lost across preemption)
+// breaks this immediately.
+func TestPreempt1PeriodInvariance(t *testing.T) {
+	want := expectedPreempt1Output(60)
+	for _, period := range []uint64{48, 53, 64, 97, 131, 1024} {
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, Preempt1(60, period), hardened)
+			g := goldenOf(t, p)
+			if string(g.Serial) != want {
+				t.Errorf("period %d hardened=%v: output %q, want %q",
+					period, hardened, g.Serial, want)
+			}
+		}
+	}
+}
+
+func TestPreempt1ThreadsActuallyInterleave(t *testing.T) {
+	// With a short period, thread 1 must run long before thread 0's
+	// wait loop: compare against a period so long that thread 0 finishes
+	// its compute loop before the first switch. Both must still agree on
+	// the output (the point of the benchmark), but the number of ISR
+	// activations — visible through the access trace size — must differ
+	// substantially.
+	short := goldenOf(t, buildVariant(t, Preempt1(60, 48), false))
+	long := goldenOf(t, buildVariant(t, Preempt1(60, 1024), false))
+	if string(short.Serial) != string(long.Serial) {
+		t.Fatal("outputs differ across periods")
+	}
+	if len(short.Accesses) <= len(long.Accesses) {
+		t.Errorf("short period (%d accesses) should context-switch more than long (%d)",
+			len(short.Accesses), len(long.Accesses))
+	}
+}
+
+func TestPreempt1Clamps(t *testing.T) {
+	p := buildVariant(t, Preempt1(0, 1), false)
+	if p.TimerPeriod < 48 {
+		t.Errorf("period = %d, want clamped", p.TimerPeriod)
+	}
+	g := goldenOf(t, p)
+	if !strings.HasSuffix(string(g.Serial), "P\n") {
+		t.Errorf("clamped run output %q", g.Serial)
+	}
+}

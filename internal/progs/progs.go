@@ -1,0 +1,125 @@
+// Package progs contains the fav32 benchmark programs of this
+// reproduction:
+//
+//   - hi: the paper's §IV "Hi" Gedankenexperiment program (Figure 3),
+//   - bin_sem2: a port of the eCos binary-semaphore kernel test,
+//   - sync2: a port of the eCos mutex/condition-variable kernel test,
+//
+// plus the cooperative threading kernel (two threads, binary semaphores,
+// mutex) the kernel tests run on. Kernel state and thread contexts are
+// accessed through the pld/pst protected-access pseudo instructions, so a
+// single source yields both the baseline variant (plain loads/stores) and
+// the SUM+DMR-hardened variant.
+package progs
+
+import (
+	"fmt"
+
+	"faultspace/internal/asm"
+	"faultspace/internal/harden"
+)
+
+// Spec describes one benchmark with its baseline and hardened forms.
+type Spec struct {
+	// Name identifies the benchmark.
+	Name string
+	// BaselineSrc is the assembly source of the baseline variant (RAM
+	// sized without replica space).
+	BaselineSrc string
+	// HardenedSrc is the assembly source for the hardened variant: same
+	// program, RAM extended by the replica and checksum regions (the
+	// checksum region pre-initialized to ~0 for SUM+DMR).
+	HardenedSrc string
+	// HardenedTMRSrc is the source for the TMR variant: same extended
+	// layout, but with the third region zero-initialized (a plain copy,
+	// not a checksum). Empty when the benchmark has no protected data.
+	HardenedTMRSrc string
+	// DMR is the SUM+DMR configuration matching the source's data layout.
+	DMR harden.SumDMR
+	// DataAddrs lists RAM addresses holding live data, usable as dummy-load
+	// targets for the DFT' dilution cheat.
+	DataAddrs []int64
+}
+
+// BaselineStmts parses the baseline source and expands protected accesses
+// into plain loads/stores.
+func (s Spec) BaselineStmts() ([]asm.Stmt, error) {
+	return s.variantStmts(s.BaselineSrc, harden.Baseline{})
+}
+
+// HardenedStmts parses the hardened source and applies SUM+DMR. Specs
+// without protected data (zero DMR configuration) fall back to the
+// baseline expansion: there is nothing to harden.
+func (s Spec) HardenedStmts() ([]asm.Stmt, error) {
+	if s.DMR == (harden.SumDMR{}) {
+		return s.variantStmts(s.HardenedSrc, harden.Baseline{})
+	}
+	return s.variantStmts(s.HardenedSrc, s.DMR)
+}
+
+// Baseline assembles the baseline variant.
+func (s Spec) Baseline() (*asm.Program, error) {
+	stmts, err := s.BaselineStmts()
+	if err != nil {
+		return nil, err
+	}
+	return asm.AssembleStmts(s.Name+"/baseline", stmts)
+}
+
+// Hardened assembles the SUM+DMR variant.
+func (s Spec) Hardened() (*asm.Program, error) {
+	stmts, err := s.HardenedStmts()
+	if err != nil {
+		return nil, err
+	}
+	return asm.AssembleStmts(s.Name+"/sum+dmr", stmts)
+}
+
+// TMR returns the triple-modular-redundancy configuration sharing the
+// SUM+DMR layout: the second copy lives where SUM+DMR keeps its replica,
+// the third where SUM+DMR keeps its checksums.
+func (s Spec) TMR() harden.TMR {
+	return harden.TMR{
+		Copy2Offset: s.DMR.ReplicaOffset,
+		Copy3Offset: s.DMR.CheckOffset,
+		RegionBase:  s.DMR.RegionBase,
+		RegionWords: s.DMR.RegionWords,
+	}
+}
+
+// HardenedTMR assembles the TMR variant.
+func (s Spec) HardenedTMR() (*asm.Program, error) {
+	if s.HardenedTMRSrc == "" {
+		return nil, fmt.Errorf("progs: %s has no TMR variant", s.Name)
+	}
+	if s.DMR == (harden.SumDMR{}) {
+		return nil, fmt.Errorf("progs: %s has no protected data to triplicate", s.Name)
+	}
+	stmts, err := s.variantStmts(s.HardenedTMRSrc, s.TMR())
+	if err != nil {
+		return nil, err
+	}
+	return asm.AssembleStmts(s.Name+"/tmr", stmts)
+}
+
+// WithVariant assembles the baseline program transformed by an additional
+// variant (e.g. the DFT dilution cheats applied on top of the baseline).
+func (s Spec) WithVariant(v harden.Variant) (*asm.Program, error) {
+	stmts, err := s.variantStmts(s.BaselineSrc, harden.Chain(harden.Baseline{}, v))
+	if err != nil {
+		return nil, err
+	}
+	return asm.AssembleStmts(s.Name+"/"+v.Name(), stmts)
+}
+
+func (s Spec) variantStmts(src string, v harden.Variant) ([]asm.Stmt, error) {
+	stmts, err := asm.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("progs: parse %s: %w", s.Name, err)
+	}
+	out, err := v.Apply(stmts)
+	if err != nil {
+		return nil, fmt.Errorf("progs: %s: %w", s.Name, err)
+	}
+	return out, nil
+}

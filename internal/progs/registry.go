@@ -1,0 +1,80 @@
+package progs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sizes parameterizes the built-in benchmark registry.
+type Sizes struct {
+	BinSemRounds  int    // bin_sem2 ping-pong rounds (default 4)
+	SyncRounds    int    // sync2 handshakes (default 3)
+	SyncBufBytes  int    // sync2 message-buffer size (default 64)
+	ClockTicks    int    // clock1 timer ticks to await (default 6)
+	ClockPeriod   uint64 // clock1 timer period in cycles (default 64)
+	MboxMessages  int    // mbox1 messages to pass (default 6)
+	PreemptWork   int    // preempt1 work units per thread (default 40)
+	PreemptPeriod uint64 // preempt1 timer period in cycles (default 48)
+	SortElements  int    // sort1 array elements (default 12)
+}
+
+func (s Sizes) withDefaults() Sizes {
+	if s.BinSemRounds == 0 {
+		s.BinSemRounds = 4
+	}
+	if s.SyncRounds == 0 {
+		s.SyncRounds = 3
+	}
+	if s.SyncBufBytes == 0 {
+		s.SyncBufBytes = 64
+	}
+	if s.ClockTicks == 0 {
+		s.ClockTicks = 6
+	}
+	if s.ClockPeriod == 0 {
+		s.ClockPeriod = 64
+	}
+	if s.MboxMessages == 0 {
+		s.MboxMessages = 6
+	}
+	if s.PreemptWork == 0 {
+		s.PreemptWork = 40
+	}
+	if s.PreemptPeriod == 0 {
+		s.PreemptPeriod = 48
+	}
+	if s.SortElements == 0 {
+		s.SortElements = 12
+	}
+	return s
+}
+
+// Resolve returns the benchmark Spec registered under name (see Names).
+func Resolve(name string, sizes Sizes) (Spec, error) {
+	sizes = sizes.withDefaults()
+	switch name {
+	case "hi":
+		return Hi(), nil
+	case "bin_sem2", "binsem2":
+		return BinSem2(sizes.BinSemRounds), nil
+	case "sync2":
+		return Sync2(sizes.SyncRounds, sizes.SyncBufBytes), nil
+	case "clock1":
+		return Clock1(sizes.ClockTicks, sizes.ClockPeriod), nil
+	case "mbox1":
+		return Mbox1(sizes.MboxMessages), nil
+	case "preempt1":
+		return Preempt1(sizes.PreemptWork, sizes.PreemptPeriod), nil
+	case "sort1":
+		return Sort1(sizes.SortElements), nil
+	default:
+		return Spec{}, fmt.Errorf("progs: unknown benchmark %q (have: %v)", name, Names())
+	}
+}
+
+// Names lists the registered benchmark names.
+func Names() []string {
+	names := []string{"hi", "bin_sem2", "sync2", "clock1", "mbox1", "preempt1", "sort1"}
+	sort.Strings(names)
+	return names
+}

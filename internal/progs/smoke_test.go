@@ -1,0 +1,51 @@
+package progs
+
+import (
+	"testing"
+
+	"faultspace/internal/asm"
+	"faultspace/internal/machine"
+	"faultspace/internal/trace"
+)
+
+func goldenOf(t *testing.T, p *asm.Program) *trace.Golden {
+	t.Helper()
+	cfg := machine.Config{
+		RAMSize:     p.RAMSize,
+		TimerPeriod: p.TimerPeriod,
+		TimerVector: p.TimerVector,
+	}
+	g, err := trace.Record(p.Name, cfg, p.Code, p.Image, 1<<20)
+	if err != nil {
+		t.Fatalf("golden run of %s: %v", p.Name, err)
+	}
+	return g
+}
+
+func TestSmokeGoldenRuns(t *testing.T) {
+	specs := []Spec{Hi(), BinSem2(4), Sync2(3, 64), Clock1(6, 64), Mbox1(6), Preempt1(40, 48), Sort1(12)}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			bp, err := spec.Baseline()
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			bg := goldenOf(t, bp)
+			t.Logf("%s: cycles=%d ram=%dB output=%q accesses=%d",
+				bp.Name, bg.Cycles, bp.RAMSize, bg.Serial, len(bg.Accesses))
+
+			hp, err := spec.Hardened()
+			if err != nil {
+				t.Fatalf("hardened: %v", err)
+			}
+			hg := goldenOf(t, hp)
+			t.Logf("%s: cycles=%d ram=%dB output=%q accesses=%d",
+				hp.Name, hg.Cycles, hp.RAMSize, hg.Serial, len(hg.Accesses))
+
+			if string(bg.Serial) != string(hg.Serial) {
+				t.Errorf("baseline and hardened outputs differ: %q vs %q", bg.Serial, hg.Serial)
+			}
+		})
+	}
+}

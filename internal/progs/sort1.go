@@ -1,0 +1,138 @@
+package progs
+
+import (
+	"fmt"
+
+	"faultspace/internal/harden"
+)
+
+// Sort1 returns the sort1 benchmark: a data-processing workload rather
+// than a kernel test. It fills an n-word array with pseudo-random values,
+// bubble-sorts it in place, verifies sortedness (aborting via the
+// detected-unrecoverable port on violation) and emits an order-sensitive
+// checksum of the result.
+//
+// The entire array is protected data: every element access in the sort's
+// inner loop goes through pld/pst, so the SUM+DMR variant pays the
+// mechanism's overhead on the hottest path — the worst case for a
+// duplication scheme — while in exchange covering all of the program's
+// long-lived state. Array elements have the longest lifetimes of any
+// benchmark here (untouched elements wait through entire sort passes),
+// which makes the baseline especially susceptible.
+func Sort1(n int) Spec {
+	if n < 2 {
+		n = 2
+	}
+	if n > 64 {
+		n = 64
+	}
+	protWds := n + 2 // array + 2 pad words
+	const protBase = 0
+	replOf := int64(protWds * 4)
+	chkOf := 2 * replOf
+	baseRAM := protBase + protWds*4
+	hardRAM := protBase + 3*protWds*4
+
+	src := func(ram int, hardened bool) string {
+		checkInit := ""
+		if hardened {
+			checkInit = fmt.Sprintf("        .data\n        .org    %d\n", protBase+int(chkOf))
+			for i := 0; i < protWds; i++ {
+				checkInit += "        .word   -1\n"
+			}
+			checkInit += "        .text\n"
+		}
+		return fmt.Sprintf(`
+        .ram    %d
+        .equ    SERIAL, 0x10000
+        .equ    ABORT,  0x1000C
+        .equ    N,      %d
+        .equ    ARR,    %d
+%s
+        .text
+start:
+; Fill the array with a pseudo-random permutation-ish sequence.
+        li      r4, 0
+fill:
+        li      r2, 0x9E3779B9
+        mul     r2, r4, r2
+        addi    r2, r2, 0x2545F
+        shli    r3, r4, 2
+        addi    r3, r3, ARR
+        pst     r2, 0(r3)
+        inc     r4
+        li      r1, N
+        blt     r4, r1, fill
+
+; Bubble sort (unsigned ascending): the classic O(n^2) element churn.
+        li      r4, 0                   ; i
+outer:
+        li      r5, 0                   ; j
+inner:
+        shli    r3, r5, 2
+        addi    r3, r3, ARR
+        pld     r6, 0(r3)
+        pld     r7, 4(r3)
+        bleu    r6, r7, noswap
+        pst     r7, 0(r3)
+        pst     r6, 4(r3)
+noswap:
+        inc     r5
+        li      r1, N-1
+        sub     r1, r1, r4
+        blt     r5, r1, inner
+        inc     r4
+        li      r1, N-1
+        blt     r4, r1, outer
+
+; Verify sortedness and emit an order-sensitive rotating-XOR checksum.
+        li      r4, 0
+        li      r5, 0
+check:
+        shli    r3, r4, 2
+        addi    r3, r3, ARR
+        pld     r6, 0(r3)
+        beq     r4, r0, first
+        bltu    r6, r7, unsorted
+first:
+        mov     r7, r6
+        shli    r1, r5, 1
+        shri    r2, r5, 31
+        or      r5, r1, r2
+        xor     r5, r5, r6
+        inc     r4
+        li      r1, N
+        blt     r4, r1, check
+        shri    r1, r5, 16
+        xor     r5, r5, r1
+        shri    r1, r5, 8
+        xor     r5, r5, r1
+        shri    r1, r5, 4
+        andi    r1, r1, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        andi    r1, r5, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        li      r1, 'P'
+        sb      r1, SERIAL(r0)
+        li      r1, '\n'
+        sb      r1, SERIAL(r0)
+        halt
+unsorted:
+        li      r1, '!'
+        sb      r1, SERIAL(r0)
+        sw      r0, ABORT(r0)
+        halt
+`, ram, n, protBase, checkInit)
+	}
+
+	return Spec{
+		Name:           fmt.Sprintf("sort1(n=%d)", n),
+		BaselineSrc:    src(baseRAM, false),
+		HardenedSrc:    src(hardRAM, true),
+		HardenedTMRSrc: src(hardRAM, false),
+		DMR:            harden.SumDMR{ReplicaOffset: replOf, CheckOffset: chkOf},
+		DataAddrs:      []int64{protBase, protBase + int64(n/2)*4},
+	}
+}

@@ -1,0 +1,67 @@
+package progs
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// expectedSort1Output mirrors the program: fill, sort ascending (unsigned),
+// rotate-XOR checksum, fold, two base-16 chars, "P\n".
+func expectedSort1Output(n int) string {
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i)*0x9E3779B9 + 0x2545F
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var x uint32
+	for _, v := range vals {
+		x = (x<<1 | x>>31) ^ v
+	}
+	x ^= x >> 16
+	x ^= x >> 8
+	return string([]byte{byte('A' + (x>>4)&15), byte('A' + x&15)}) + "P\n"
+}
+
+func TestSort1GoldenOutput(t *testing.T) {
+	for _, n := range []int{2, 5, 12, 24} {
+		spec := Sort1(n)
+		want := expectedSort1Output(n)
+		for _, hardened := range []bool{false, true} {
+			p := buildVariant(t, spec, hardened)
+			g := goldenOf(t, p)
+			if string(g.Serial) != want {
+				t.Errorf("%s hardened=%v: output %q, want %q", spec.Name, hardened, g.Serial, want)
+			}
+		}
+	}
+}
+
+func TestSort1SortsAndVerifies(t *testing.T) {
+	// The golden run must pass its own sortedness check: no '!' abort.
+	g := goldenOf(t, buildVariant(t, Sort1(16), false))
+	if strings.Contains(string(g.Serial), "!") {
+		t.Errorf("golden run failed its own verification: %q", g.Serial)
+	}
+}
+
+func TestSort1Clamps(t *testing.T) {
+	small := buildVariant(t, Sort1(0), false)
+	if string(goldenOf(t, small).Serial) != expectedSort1Output(2) {
+		t.Error("n < 2 must clamp to 2")
+	}
+	big := buildVariant(t, Sort1(1000), false)
+	if string(goldenOf(t, big).Serial) != expectedSort1Output(64) {
+		t.Error("n > 64 must clamp to 64")
+	}
+}
+
+func TestSort1QuadraticRuntime(t *testing.T) {
+	g8 := goldenOf(t, buildVariant(t, Sort1(8), false))
+	g24 := goldenOf(t, buildVariant(t, Sort1(24), false))
+	// 3x the elements, ~9x the inner-loop work: runtime must grow clearly
+	// superlinearly.
+	if g24.Cycles < 4*g8.Cycles {
+		t.Errorf("runtime not quadratic-ish: n=8 -> %d, n=24 -> %d", g8.Cycles, g24.Cycles)
+	}
+}

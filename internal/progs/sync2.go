@@ -1,0 +1,163 @@
+package progs
+
+import "fmt"
+
+// Sync2 returns the sync2 benchmark: a port of the eCos mutex/condition
+// synchronization kernel test. A producer thread fills a message buffer,
+// then performs niter mutex-protected flag handshakes with a consumer
+// thread (a condition-variable pattern: signal via a sequence word, wait
+// by polling under the mutex with cooperative yields). At the very end the
+// consumer reads the whole buffer back and emits its checksum.
+//
+// The message buffer is *unprotected* and lives from the first cycles of
+// the run until the final checksum — its fault exposure grows linearly
+// with the benchmark runtime. The SUM+DMR variant therefore stretches
+// exactly the data lifetime that produces failures: the mechanism corrects
+// kernel-state faults but pays with runtime that multiplies the buffer's
+// exposure. This reproduces the paper's central sync2 finding (§V-B): the
+// fault-coverage metric claims an improvement while the extrapolated
+// absolute failure count *worsens*.
+//
+// niter is the number of handshakes (clamped to >= 1); msgLen the buffer
+// size in bytes (rounded up to a word multiple, minimum 4).
+func Sync2(niter, msgLen int) Spec {
+	if niter < 1 {
+		niter = 1
+	}
+	if msgLen < 4 {
+		msgLen = 4
+	}
+	msgLen = alignUp(msgLen, 4)
+	stackBase := alignUp(msgLen, 4)
+	l := kernelLayout{
+		MsgBufAddr: 0,
+		MsgLen:     msgLen,
+		Stack0Top:  stackBase + 16,
+		Stack1Top:  stackBase + 32,
+		ProtBase:   stackBase + 32,
+	}
+	body := `
+        .text
+start:
+        li      sp, STACK0_TOP
+        pst     r0, CURTID(r0)
+        pst     r0, MUTEX(r0)
+        pst     r0, FLAG(r0)
+        pst     r0, ACK(r0)
+        pst     r0, DONE(r0)
+        pst     r0, CONDSEQ(r0)
+        li      r1, consumer
+        call    ctx1_init
+
+; Produce the message: word i gets a golden-ratio hash of i. Written once,
+; read back at the very end of the run -- maximum data lifetime.
+        li      r4, 0
+fill:
+        li      r2, 0x9E3779B9
+        mul     r2, r4, r2
+        addi    r2, r2, 0x1234567
+        shli    r3, r4, 2
+        addi    r3, r3, MSGBUF
+        sw      r2, 0(r3)
+        inc     r4
+        li      r1, MSGLEN/4
+        blt     r4, r1, fill
+
+; Handshake rounds: publish FLAG=i under the mutex, signal, await ACK=i.
+        li      r4, 1
+p_loop:
+        li      r1, MUTEX
+        call    mutex_lock
+        pst     r4, FLAG(r0)
+        li      r1, MUTEX
+        call    mutex_unlock
+        pld     r2, CONDSEQ(r0)         ; cond_signal: bump sequence word
+        inc     r2
+        pst     r2, CONDSEQ(r0)
+p_wait_ack:
+        pld     r2, ACK(r0)
+        beq     r2, r4, p_next
+        call    kyield
+        jmp     p_wait_ack
+p_next:
+        inc     r4
+        li      r1, NITER
+        ble     r4, r1, p_loop
+p_wait_done:
+        pld     r2, DONE(r0)
+        bne     r2, r0, p_finish
+        call    kyield
+        jmp     p_wait_done
+p_finish:
+        li      r1, 'P'
+        sb      r1, SERIAL(r0)
+        li      r1, '\n'
+        sb      r1, SERIAL(r0)
+        halt
+
+consumer:
+        li      r4, 1
+c_loop:
+c_wait:
+        li      r1, MUTEX
+        call    mutex_lock
+        pld     r5, FLAG(r0)
+        li      r1, MUTEX
+        call    mutex_unlock
+        beq     r5, r4, c_got
+        call    kyield
+        jmp     c_wait
+c_got:
+        pst     r4, ACK(r0)
+        andi    r1, r4, 7
+        addi    r1, r1, 'a'
+        sb      r1, SERIAL(r0)
+        inc     r4
+        li      r1, NITER
+        ble     r4, r1, c_loop
+
+; Check the message: XOR all words, fold 32 bits down to 8 so every single
+; bit flip in the buffer is visible, and emit two base-16 characters.
+        li      r4, 0
+        li      r5, 0
+c_sum:
+        shli    r3, r4, 2
+        addi    r3, r3, MSGBUF
+        lw      r2, 0(r3)
+        xor     r5, r5, r2
+        inc     r4
+        li      r1, MSGLEN/4
+        blt     r4, r1, c_sum
+        shri    r1, r5, 16
+        xor     r5, r5, r1
+        shri    r1, r5, 8
+        xor     r5, r5, r1
+        shri    r1, r5, 4
+        andi    r1, r1, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        andi    r1, r5, 15
+        addi    r1, r1, 'A'
+        sb      r1, SERIAL(r0)
+        li      r2, 1
+        pst     r2, DONE(r0)
+c_idle:
+        call    kyield
+        jmp     c_idle
+`
+	return Spec{
+		Name:           fmt.Sprintf("sync2(n=%d,buf=%d)", niter, msgLen),
+		BaselineSrc:    l.prologue(l.baselineRAM(), niter, false) + body + kernelAsm,
+		HardenedSrc:    l.prologue(l.hardenedRAM(), niter, true) + body + kernelAsm,
+		HardenedTMRSrc: l.prologue(l.hardenedRAM(), niter, false) + body + kernelAsm,
+		DMR:            l.dmr(),
+		DataAddrs:      []int64{0, int64(msgLen / 2)},
+	}
+}
+
+func alignUp(v, to int) int {
+	if r := v % to; r != 0 {
+		return v + to - r
+	}
+	return v
+}

@@ -1,0 +1,299 @@
+// Package pruning implements def/use fault-space pruning for transient
+// single-bit faults in main memory (§III-C of Schirmeier et al., DSN 2015).
+//
+// The fault space of a benchmark run is the grid of (injection slot,
+// memory bit) coordinates, with slot t ∈ [1, Δt] denoting a bit flip after
+// instruction t−1 retired and before instruction t executes, and bit
+// b ∈ [0, Δm). The def/use insight: all flips of a bit between one access
+// and the next *read* of that bit are equivalent — the earliest point they
+// can be activated is that read. Flips between an access and the next
+// *write* (or after the last access) are never read and are known a priori
+// to be "No Effect".
+//
+// Build therefore partitions the fault space into:
+//
+//   - equivalence classes, one per (read, bit) pair, each carrying its
+//     exact Weight (the data lifetime in cycles, the correction factor
+//     demanded by Pitfall 1), and
+//   - a KnownNoEffect remainder whose outcome needs no experiment.
+//
+// The partition is exact: Σ class weights + KnownNoEffect = Δt·Δm.
+package pruning
+
+import (
+	"fmt"
+	"sort"
+
+	"faultspace/internal/machine"
+	"faultspace/internal/trace"
+)
+
+// Class is one def/use equivalence class: all injections into Bit during
+// slots (DefCycle, UseCycle] behave identically, because the flipped bit is
+// first consumed by the read at UseCycle.
+type Class struct {
+	Bit      uint64 // memory bit index (byte*8 + bit-in-byte)
+	DefCycle uint64 // cycle of the preceding access (0 = start of run)
+	UseCycle uint64 // cycle of the activating read; also the representative injection slot
+}
+
+// Weight is the number of fault-space coordinates the class stands for —
+// the data lifetime in cycles. Results from the single representative
+// experiment must be multiplied by this weight (Pitfall 1).
+func (c Class) Weight() uint64 { return c.UseCycle - c.DefCycle }
+
+// Slot is the representative injection slot: the latest possible time,
+// directly before the activating read (the black dot in Fig. 1b).
+func (c Class) Slot() uint64 { return c.UseCycle }
+
+// SpaceKind identifies which machine state a fault space covers.
+type SpaceKind uint8
+
+// Fault-space kinds.
+const (
+	// SpaceMemory is the paper's primary fault model: single-bit flips in
+	// main memory.
+	SpaceMemory SpaceKind = iota + 1
+	// SpaceRegisters is the §VI-B generalization: single-bit flips in the
+	// CPU register file (r1..r15; r0 is hardwired zero and immune).
+	SpaceRegisters
+)
+
+// String returns the kind name.
+func (k SpaceKind) String() string {
+	switch k {
+	case SpaceMemory:
+		return "memory"
+	case SpaceRegisters:
+		return "registers"
+	default:
+		return fmt.Sprintf("space(%d)", uint8(k))
+	}
+}
+
+// FaultSpace is the pruned fault space of one golden run.
+type FaultSpace struct {
+	// Kind is the machine state this space covers.
+	Kind SpaceKind
+	// Cycles is Δt, the time dimension (number of injection slots).
+	Cycles uint64
+	// Bits is Δm, the memory dimension.
+	Bits uint64
+	// Classes are the equivalence classes requiring one experiment each,
+	// sorted by (Slot, Bit).
+	Classes []Class
+	// KnownNoEffect is the total weight of coordinates known a priori to
+	// be "No Effect" (faults overwritten before a read, or never read).
+	KnownNoEffect uint64
+
+	// byBit indexes Classes per bit for coordinate lookups; classes of a
+	// bit are sorted by UseCycle.
+	byBit map[uint64][]int32
+}
+
+// Size returns the raw fault-space size w = Δt·Δm.
+func (fs *FaultSpace) Size() uint64 { return fs.Cycles * fs.Bits }
+
+// ExperimentWeight returns the total weight covered by equivalence classes
+// (the population w′ remaining after excluding known-No-Effect coordinates,
+// §V-C Corollary 1).
+func (fs *FaultSpace) ExperimentWeight() uint64 { return fs.Size() - fs.KnownNoEffect }
+
+// ReductionFactor returns how many raw coordinates each conducted
+// experiment stands for on average: w / #classes.
+func (fs *FaultSpace) ReductionFactor() float64 {
+	if len(fs.Classes) == 0 {
+		return 0
+	}
+	return float64(fs.Size()) / float64(len(fs.Classes))
+}
+
+// Build partitions the main-memory fault space of the golden run.
+func Build(g *trace.Golden) (*FaultSpace, error) {
+	return buildSpace(SpaceMemory, g.Cycles, g.RAMBits, g.Accesses)
+}
+
+// BuildRegisters partitions the register-file fault space of the golden
+// run (§VI-B). Within a cycle a register may be read and then written (an
+// instruction consumes sources before producing its destination); the read
+// ends the previous def/use interval and the write starts the next one.
+func BuildRegisters(g *trace.Golden) (*FaultSpace, error) {
+	return buildSpace(SpaceRegisters, g.Cycles, g.RegBits(), g.RegAccesses)
+}
+
+// FromClasses reconstructs a fault space from externally stored classes
+// (e.g. a scan archive). The classes are re-sorted, re-indexed and the
+// exact-partition invariant is verified, so a tampered or inconsistent
+// archive is rejected.
+func FromClasses(kind SpaceKind, cycles, bits uint64, classes []Class, knownNoEffect uint64) (*FaultSpace, error) {
+	if kind != SpaceMemory && kind != SpaceRegisters {
+		return nil, fmt.Errorf("pruning: unknown space kind %d", kind)
+	}
+	fs := &FaultSpace{
+		Kind:          kind,
+		Cycles:        cycles,
+		Bits:          bits,
+		Classes:       make([]Class, len(classes)),
+		KnownNoEffect: knownNoEffect,
+		byBit:         make(map[uint64][]int32),
+	}
+	copy(fs.Classes, classes)
+	for i, c := range fs.Classes {
+		if c.Bit >= bits {
+			return nil, fmt.Errorf("pruning: class bit %d outside space (%d bits)", c.Bit, bits)
+		}
+		if c.UseCycle > cycles {
+			return nil, fmt.Errorf("pruning: class use cycle %d outside run (%d cycles)", c.UseCycle, cycles)
+		}
+		// Classes must arrive in canonical (Slot, Bit) order: outcome
+		// arrays stored alongside them are index-parallel, so re-sorting
+		// here would silently repair the pairing.
+		if i > 0 {
+			p := fs.Classes[i-1]
+			if c.UseCycle < p.UseCycle || (c.UseCycle == p.UseCycle && c.Bit <= p.Bit) {
+				return nil, fmt.Errorf("pruning: classes not in canonical (slot, bit) order at index %d", i)
+			}
+		}
+	}
+	indexByBit(fs)
+	if err := fs.checkPartition(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access) (*FaultSpace, error) {
+	fs := &FaultSpace{
+		Kind:   kind,
+		Cycles: cycles,
+		Bits:   bits,
+		byBit:  make(map[uint64][]int32),
+	}
+
+	// Bits never accessed contribute Cycles coordinates of known No Effect
+	// each; touched bits are processed from their per-bit event lists.
+	type event struct {
+		cycle uint64
+		read  bool
+	}
+	perBit := make(map[uint64][]event)
+	for _, a := range accesses {
+		if a.Cycle == 0 || a.Cycle > cycles {
+			return nil, fmt.Errorf("pruning: access at cycle %d outside run of %d cycles", a.Cycle, cycles)
+		}
+		read := a.Kind == machine.AccessRead
+		base := uint64(a.Addr) * 8
+		for i := uint64(0); i < uint64(a.Size)*8; i++ {
+			bit := base + i
+			if bit >= bits {
+				return nil, fmt.Errorf("pruning: access to bit %d outside %s space (%d bits)", bit, kind, bits)
+			}
+			perBit[bit] = append(perBit[bit], event{cycle: a.Cycle, read: read})
+		}
+	}
+
+	touched := make([]uint64, 0, len(perBit))
+	for bit := range perBit {
+		touched = append(touched, bit)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+
+	untouchedBits := bits - uint64(len(touched))
+	fs.KnownNoEffect = untouchedBits * cycles
+
+	for _, bit := range touched {
+		events := perBit[bit]
+		// The trace is recorded in execution order. Per bit the cycles are
+		// strictly increasing, except that a register read may be followed
+		// by a write of the same register in the same cycle (the
+		// instruction consumes before it produces); that write starts a
+		// zero-length overwritten interval, which is fine.
+		prev := uint64(0)
+		prevRead := false
+		for _, ev := range events {
+			if ev.cycle < prev || (ev.cycle == prev && !(prevRead && !ev.read)) {
+				return nil, fmt.Errorf("pruning: non-monotonic events for bit %d (cycle %d after %d)", bit, ev.cycle, prev)
+			}
+			span := ev.cycle - prev
+			if ev.read {
+				fs.byBit[bit] = append(fs.byBit[bit], int32(len(fs.Classes)))
+				fs.Classes = append(fs.Classes, Class{Bit: bit, DefCycle: prev, UseCycle: ev.cycle})
+			} else {
+				// Injections in (prev, cycle] are overwritten by this write.
+				fs.KnownNoEffect += span
+			}
+			prev = ev.cycle
+			prevRead = ev.read
+		}
+		// Tail after the last access: dormant, never read again.
+		fs.KnownNoEffect += cycles - prev
+	}
+
+	// Classes are appended bit-major; re-sort by (Slot, Bit) so campaign
+	// engines can advance a single pioneer machine monotonically in time.
+	sort.Slice(fs.Classes, func(i, j int) bool {
+		a, b := fs.Classes[i], fs.Classes[j]
+		if a.UseCycle != b.UseCycle {
+			return a.UseCycle < b.UseCycle
+		}
+		return a.Bit < b.Bit
+	})
+	indexByBit(fs)
+
+	if err := fs.checkPartition(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// indexByBit (re)builds the per-bit class index.
+func indexByBit(fs *FaultSpace) {
+	for bit := range fs.byBit {
+		fs.byBit[bit] = fs.byBit[bit][:0]
+	}
+	for i, c := range fs.Classes {
+		fs.byBit[c.Bit] = append(fs.byBit[c.Bit], int32(i))
+	}
+}
+
+// checkPartition verifies the exact-partition invariant.
+func (fs *FaultSpace) checkPartition() error {
+	var classWeight uint64
+	for _, c := range fs.Classes {
+		if c.UseCycle <= c.DefCycle {
+			return fmt.Errorf("pruning: class %+v has non-positive weight", c)
+		}
+		classWeight += c.Weight()
+	}
+	if classWeight+fs.KnownNoEffect != fs.Size() {
+		return fmt.Errorf("pruning: partition mismatch: classes %d + known %d != w %d",
+			classWeight, fs.KnownNoEffect, fs.Size())
+	}
+	return nil
+}
+
+// Locate maps a raw fault-space coordinate to its equivalence class.
+// It returns the class index, or ok=false when the coordinate is known
+// a priori to be "No Effect". Slot must be in [1, Cycles] and bit in
+// [0, Bits).
+func (fs *FaultSpace) Locate(slot, bit uint64) (int, bool, error) {
+	if slot == 0 || slot > fs.Cycles {
+		return 0, false, fmt.Errorf("pruning: slot %d outside [1, %d]", slot, fs.Cycles)
+	}
+	if bit >= fs.Bits {
+		return 0, false, fmt.Errorf("pruning: bit %d outside [0, %d)", bit, fs.Bits)
+	}
+	idxs := fs.byBit[bit]
+	// Classes per bit are sorted by UseCycle; find the first class with
+	// UseCycle >= slot and check whether the slot falls inside it.
+	lo := sort.Search(len(idxs), func(i int) bool {
+		return fs.Classes[idxs[i]].UseCycle >= slot
+	})
+	if lo < len(idxs) {
+		c := fs.Classes[idxs[lo]]
+		if slot > c.DefCycle && slot <= c.UseCycle {
+			return int(idxs[lo]), true, nil
+		}
+	}
+	return 0, false, nil
+}

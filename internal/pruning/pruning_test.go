@@ -1,0 +1,327 @@
+package pruning
+
+import (
+	"math/rand"
+	"testing"
+
+	"faultspace/internal/machine"
+	"faultspace/internal/trace"
+)
+
+func mkGolden(cycles, ramBits uint64, accesses ...trace.Access) *trace.Golden {
+	return &trace.Golden{
+		Name:     "test",
+		Cycles:   cycles,
+		RAMBits:  ramBits,
+		Accesses: accesses,
+	}
+}
+
+func TestFigure1Example(t *testing.T) {
+	// The paper's Figure 1b: 12 cycles × 9 bits, one byte written at cycle
+	// 4 and read at cycle 11 → 8 classes of weight 7; 108−56 = 52 known.
+	g := mkGolden(12, 9,
+		trace.Access{Cycle: 4, Addr: 0, Size: 1, Kind: machine.AccessWrite},
+		trace.Access{Cycle: 11, Addr: 0, Size: 1, Kind: machine.AccessRead},
+	)
+	fs, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 108 {
+		t.Errorf("size = %d, want 108", fs.Size())
+	}
+	if len(fs.Classes) != 8 {
+		t.Fatalf("classes = %d, want 8", len(fs.Classes))
+	}
+	for _, c := range fs.Classes {
+		if c.Weight() != 7 {
+			t.Errorf("class %+v weight = %d, want 7", c, c.Weight())
+		}
+		if c.Slot() != 11 {
+			t.Errorf("class %+v slot = %d, want 11", c, c.Slot())
+		}
+	}
+	if fs.KnownNoEffect != 108-8*7 {
+		t.Errorf("known = %d, want %d", fs.KnownNoEffect, 108-8*7)
+	}
+	if got := fs.ReductionFactor(); got != 108.0/8 {
+		t.Errorf("reduction = %v, want 13.5", got)
+	}
+}
+
+func TestEmptyTraceAllKnown(t *testing.T) {
+	fs, err := Build(mkGolden(10, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Classes) != 0 {
+		t.Errorf("classes = %d, want 0", len(fs.Classes))
+	}
+	if fs.KnownNoEffect != 160 {
+		t.Errorf("known = %d, want 160", fs.KnownNoEffect)
+	}
+	if fs.ReductionFactor() != 0 {
+		t.Error("reduction factor of empty class list must be 0")
+	}
+}
+
+func TestUseUseChains(t *testing.T) {
+	// Two reads of the same byte: both create classes; the second class
+	// spans from the first read.
+	g := mkGolden(10, 8,
+		trace.Access{Cycle: 2, Addr: 0, Size: 1, Kind: machine.AccessRead},
+		trace.Access{Cycle: 7, Addr: 0, Size: 1, Kind: machine.AccessRead},
+	)
+	fs, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Classes) != 16 {
+		t.Fatalf("classes = %d, want 16", len(fs.Classes))
+	}
+	// Classes are sorted by slot: first 8 at slot 2 (weight 2), then 8 at
+	// slot 7 (weight 5).
+	for i := 0; i < 8; i++ {
+		if fs.Classes[i].Slot() != 2 || fs.Classes[i].Weight() != 2 {
+			t.Errorf("class %d = %+v, want slot 2 weight 2", i, fs.Classes[i])
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if fs.Classes[i].Slot() != 7 || fs.Classes[i].Weight() != 5 {
+			t.Errorf("class %d = %+v, want slot 7 weight 5", i, fs.Classes[i])
+		}
+	}
+	// Tail after cycle 7 is dormant: 3 cycles × 8 bits.
+	if fs.KnownNoEffect != 24 {
+		t.Errorf("known = %d, want 24", fs.KnownNoEffect)
+	}
+}
+
+func TestWriteKillsPendingInterval(t *testing.T) {
+	// Read at 3, write at 6, read at 9: the write resets the def point.
+	g := mkGolden(10, 8,
+		trace.Access{Cycle: 3, Addr: 0, Size: 1, Kind: machine.AccessRead},
+		trace.Access{Cycle: 6, Addr: 0, Size: 1, Kind: machine.AccessWrite},
+		trace.Access{Cycle: 9, Addr: 0, Size: 1, Kind: machine.AccessRead},
+	)
+	fs, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weights []uint64
+	for _, c := range fs.Classes {
+		if c.Bit == 0 {
+			weights = append(weights, c.Weight())
+		}
+	}
+	if len(weights) != 2 || weights[0] != 3 || weights[1] != 3 {
+		t.Errorf("bit 0 class weights = %v, want [3 3]", weights)
+	}
+	// Slots 4..6 are overwritten (3), slot 10 is dormant (1): 4 per bit.
+	if fs.KnownNoEffect != 4*8 {
+		t.Errorf("known = %d, want 32", fs.KnownNoEffect)
+	}
+}
+
+func TestWordAccessCoversAllBits(t *testing.T) {
+	g := mkGolden(5, 64,
+		trace.Access{Cycle: 1, Addr: 4, Size: 4, Kind: machine.AccessWrite},
+		trace.Access{Cycle: 4, Addr: 4, Size: 4, Kind: machine.AccessRead},
+	)
+	fs, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Classes) != 32 {
+		t.Fatalf("classes = %d, want 32", len(fs.Classes))
+	}
+	for _, c := range fs.Classes {
+		if c.Bit < 32 || c.Bit >= 64 {
+			t.Errorf("class bit %d outside word at address 4", c.Bit)
+		}
+	}
+}
+
+func TestBuildRejectsBadTraces(t *testing.T) {
+	bad := []*trace.Golden{
+		mkGolden(5, 8, trace.Access{Cycle: 0, Addr: 0, Size: 1, Kind: machine.AccessRead}),
+		mkGolden(5, 8, trace.Access{Cycle: 6, Addr: 0, Size: 1, Kind: machine.AccessRead}),
+		mkGolden(5, 8, trace.Access{Cycle: 1, Addr: 1, Size: 1, Kind: machine.AccessRead}),
+		mkGolden(5, 8,
+			trace.Access{Cycle: 3, Addr: 0, Size: 1, Kind: machine.AccessRead},
+			trace.Access{Cycle: 3, Addr: 0, Size: 1, Kind: machine.AccessRead}),
+	}
+	for i, g := range bad {
+		if _, err := Build(g); err == nil {
+			t.Errorf("case %d: Build accepted a bad trace", i)
+		}
+	}
+}
+
+// TestPartitionInvariantRandom property-tests the exact-partition law on
+// random traces: Σ class weights + known = w, and Locate agrees with a
+// brute-force interval walk for every coordinate.
+func TestPartitionInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		cycles := uint64(5 + rng.Intn(30))
+		ramBytes := 1 + rng.Intn(4)
+		// Generate a random monotonic access sequence; at most one access
+		// per cycle (as the machine guarantees).
+		var accesses []trace.Access
+		for c := uint64(1); c <= cycles; c++ {
+			if rng.Intn(3) == 0 {
+				kind := machine.AccessRead
+				if rng.Intn(2) == 0 {
+					kind = machine.AccessWrite
+				}
+				accesses = append(accesses, trace.Access{
+					Cycle: c,
+					Addr:  uint32(rng.Intn(ramBytes)),
+					Size:  1,
+					Kind:  kind,
+				})
+			}
+		}
+		g := mkGolden(cycles, uint64(ramBytes)*8, accesses...)
+		fs, err := Build(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		var classWeight uint64
+		for _, c := range fs.Classes {
+			classWeight += c.Weight()
+		}
+		if classWeight+fs.KnownNoEffect != fs.Size() {
+			t.Fatalf("trial %d: partition broken: %d + %d != %d",
+				trial, classWeight, fs.KnownNoEffect, fs.Size())
+		}
+
+		// Every coordinate must map to exactly one class or to known-NE,
+		// and the per-coordinate mapping must match a naive recomputation.
+		for slot := uint64(1); slot <= cycles; slot++ {
+			for bit := uint64(0); bit < fs.Bits; bit++ {
+				ci, inClass, err := fs.Locate(slot, bit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantClass, wantIn := naiveLocate(g, slot, bit)
+				if inClass != wantIn {
+					t.Fatalf("trial %d: Locate(%d,%d) inClass=%v, want %v",
+						trial, slot, bit, inClass, wantIn)
+				}
+				if inClass {
+					c := fs.Classes[ci]
+					if c.Bit != bit || slot <= c.DefCycle || slot > c.UseCycle || c.UseCycle != wantClass {
+						t.Fatalf("trial %d: Locate(%d,%d) -> %+v, want use cycle %d",
+							trial, slot, bit, c, wantClass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// naiveLocate recomputes, from the raw trace, whether (slot, bit) belongs
+// to a def/use class and which read activates it.
+func naiveLocate(g *trace.Golden, slot, bit uint64) (useCycle uint64, inClass bool) {
+	for _, a := range g.Accesses {
+		lo := uint64(a.Addr) * 8
+		hi := lo + uint64(a.Size)*8
+		if bit < lo || bit >= hi || a.Cycle < slot {
+			continue
+		}
+		// First access at or after the injection slot decides the fate.
+		if a.Kind == machine.AccessRead {
+			return a.Cycle, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func TestFromClassesRoundTrip(t *testing.T) {
+	g := mkGolden(12, 9,
+		trace.Access{Cycle: 4, Addr: 0, Size: 1, Kind: machine.AccessWrite},
+		trace.Access{Cycle: 11, Addr: 0, Size: 1, Kind: machine.AccessRead},
+	)
+	orig, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := FromClasses(orig.Kind, orig.Cycles, orig.Bits, orig.Classes, orig.KnownNoEffect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != orig.Size() || len(fs.Classes) != len(orig.Classes) {
+		t.Fatalf("round trip changed geometry")
+	}
+	if fs.ExperimentWeight() != orig.ExperimentWeight() {
+		t.Errorf("experiment weight differs: %d vs %d", fs.ExperimentWeight(), orig.ExperimentWeight())
+	}
+	for slot := uint64(1); slot <= fs.Cycles; slot++ {
+		for bit := uint64(0); bit < fs.Bits; bit++ {
+			c1, ok1, err1 := orig.Locate(slot, bit)
+			c2, ok2, err2 := fs.Locate(slot, bit)
+			if c1 != c2 || ok1 != ok2 || (err1 == nil) != (err2 == nil) {
+				t.Fatalf("Locate(%d, %d) differs after round trip", slot, bit)
+			}
+		}
+	}
+}
+
+func TestFromClassesRejectsInconsistency(t *testing.T) {
+	good := []Class{{Bit: 0, DefCycle: 0, UseCycle: 5}}
+	cases := []struct {
+		name    string
+		kind    SpaceKind
+		cycles  uint64
+		bits    uint64
+		classes []Class
+		known   uint64
+	}{
+		{"bad-kind", SpaceKind(9), 10, 8, good, 75},
+		{"partition-mismatch", SpaceMemory, 10, 8, good, 0},
+		{"bit-out-of-range", SpaceMemory, 10, 8, []Class{{Bit: 8, UseCycle: 5}}, 75},
+		{"use-past-end", SpaceMemory, 10, 8, []Class{{Bit: 0, UseCycle: 11}}, 69},
+		{"zero-weight", SpaceMemory, 10, 8, []Class{{Bit: 0, DefCycle: 5, UseCycle: 5}}, 80},
+		{"out-of-order", SpaceMemory, 10, 8,
+			[]Class{{Bit: 1, UseCycle: 5}, {Bit: 0, UseCycle: 5}}, 70},
+		{"duplicate", SpaceMemory, 10, 8,
+			[]Class{{Bit: 0, UseCycle: 5}, {Bit: 0, UseCycle: 5}}, 70},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromClasses(tc.kind, tc.cycles, tc.bits, tc.classes, tc.known); err == nil {
+				t.Error("inconsistent input accepted")
+			}
+		})
+	}
+}
+
+func TestSpaceKindString(t *testing.T) {
+	if SpaceMemory.String() != "memory" || SpaceRegisters.String() != "registers" {
+		t.Error("kind names wrong")
+	}
+	if SpaceKind(9).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	fs, err := Build(mkGolden(5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Locate(0, 0); err == nil {
+		t.Error("slot 0 must be rejected")
+	}
+	if _, _, err := fs.Locate(6, 0); err == nil {
+		t.Error("slot past Δt must be rejected")
+	}
+	if _, _, err := fs.Locate(1, 8); err == nil {
+		t.Error("bit past Δm must be rejected")
+	}
+}

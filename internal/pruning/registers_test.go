@@ -1,0 +1,124 @@
+package pruning
+
+import (
+	"testing"
+
+	"faultspace/internal/machine"
+	"faultspace/internal/trace"
+)
+
+// regGolden builds a Golden with only a register trace.
+func regGolden(cycles uint64, accesses ...trace.Access) *trace.Golden {
+	return &trace.Golden{
+		Name:        "regs",
+		Cycles:      cycles,
+		RAMBits:     8,
+		RegAccesses: accesses,
+	}
+}
+
+func regAccess(cycle uint64, reg int, kind machine.AccessKind) trace.Access {
+	return trace.Access{Cycle: cycle, Addr: uint32(reg-1) * 4, Size: 4, Kind: kind}
+}
+
+func TestBuildRegistersBasic(t *testing.T) {
+	// r1 written at cycle 2, read at cycle 5.
+	g := regGolden(6,
+		regAccess(2, 1, machine.AccessWrite),
+		regAccess(5, 1, machine.AccessRead),
+	)
+	fs, err := BuildRegisters(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Kind != SpaceRegisters {
+		t.Errorf("kind = %v", fs.Kind)
+	}
+	if fs.Bits != machine.RegSpaceBits {
+		t.Errorf("bits = %d, want %d", fs.Bits, machine.RegSpaceBits)
+	}
+	if fs.Size() != 6*machine.RegSpaceBits {
+		t.Errorf("size = %d", fs.Size())
+	}
+	if len(fs.Classes) != 32 {
+		t.Fatalf("classes = %d, want 32", len(fs.Classes))
+	}
+	for _, c := range fs.Classes {
+		if c.Weight() != 3 || c.Slot() != 5 {
+			t.Errorf("class %+v, want weight 3 slot 5", c)
+		}
+		if c.Bit >= 32 {
+			t.Errorf("class bit %d outside r1's 32 bits", c.Bit)
+		}
+	}
+}
+
+// TestReadThenWriteSameCycle covers the intra-instruction pattern
+// "addi r1, r1, 1": the read ends the interval, the same-cycle write
+// starts the next one.
+func TestReadThenWriteSameCycle(t *testing.T) {
+	g := regGolden(8,
+		regAccess(2, 1, machine.AccessWrite),
+		regAccess(4, 1, machine.AccessRead),
+		regAccess(4, 1, machine.AccessWrite),
+		regAccess(7, 1, machine.AccessRead),
+	)
+	fs, err := BuildRegisters(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per bit of r1: class (2,4] weight 2 and class (4,7] weight 3.
+	var weights []uint64
+	for _, c := range fs.Classes {
+		if c.Bit == 0 {
+			weights = append(weights, c.Weight())
+		}
+	}
+	if len(weights) != 2 || weights[0] != 2 || weights[1] != 3 {
+		t.Errorf("bit 0 weights = %v, want [2 3]", weights)
+	}
+}
+
+func TestWriteThenReadSameCycleRejected(t *testing.T) {
+	g := regGolden(8,
+		regAccess(4, 1, machine.AccessWrite),
+		regAccess(4, 1, machine.AccessRead),
+	)
+	if _, err := BuildRegisters(g); err == nil {
+		t.Error("write-then-read in one cycle must be rejected (order is read-then-write)")
+	}
+}
+
+func TestDoubleReadSameCycleRejected(t *testing.T) {
+	g := regGolden(8,
+		regAccess(4, 1, machine.AccessRead),
+		regAccess(4, 1, machine.AccessRead),
+	)
+	if _, err := BuildRegisters(g); err == nil {
+		t.Error("duplicate same-cycle reads must be rejected (the tracer deduplicates)")
+	}
+}
+
+func TestRegisterPartitionInvariant(t *testing.T) {
+	g := regGolden(20,
+		regAccess(1, 1, machine.AccessWrite),
+		regAccess(3, 2, machine.AccessWrite),
+		regAccess(5, 1, machine.AccessRead),
+		regAccess(5, 3, machine.AccessWrite),
+		regAccess(9, 3, machine.AccessRead),
+		regAccess(9, 3, machine.AccessWrite),
+		regAccess(12, 2, machine.AccessRead),
+		regAccess(15, 3, machine.AccessRead),
+	)
+	fs, err := BuildRegisters(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classWeight uint64
+	for _, c := range fs.Classes {
+		classWeight += c.Weight()
+	}
+	if classWeight+fs.KnownNoEffect != fs.Size() {
+		t.Errorf("partition broken: %d + %d != %d", classWeight, fs.KnownNoEffect, fs.Size())
+	}
+}

@@ -1,0 +1,169 @@
+// Package report renders campaign results and metric comparisons as
+// fixed-width text tables, ASCII bar charts and CSV — the output formats of
+// the favreport tool that regenerates the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (headers first). Cells containing
+// commas or quotes are quoted.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvEscape(cell))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders labelled horizontal bars, the textual analogue of the
+// paper's Figure 2 bar groups.
+type BarChart struct {
+	Title string
+	// Unit annotates the value axis (e.g. "%", "failures").
+	Unit string
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.bars = append(c.bars, bar{label: label, value: value})
+}
+
+// Render writes the chart to w. Bars scale to the maximum value.
+func (c *BarChart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, b := range c.bars {
+		if b.value > maxVal {
+			maxVal = b.value
+		}
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.value / maxVal * float64(width))
+		}
+		if n == 0 && b.value > 0 {
+			n = 1 // visible trace for tiny non-zero values
+		}
+		fmt.Fprintf(&sb, "  %s  %s %s%s\n",
+			pad(b.label, labelW), strings.Repeat("#", n), formatValue(b.value), c.Unit)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

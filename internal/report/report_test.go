@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta-longer", 23.5)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "name", "value", "alpha", "beta-longer", "23.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + rule + 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows start their second column at the same
+	// offset.
+	a := strings.Index(lines[3], "1")
+	bRow := lines[4]
+	if !strings.HasPrefix(bRow[a-2:], "") || len(bRow) < a {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("x,y", `quote"inside`)
+	tbl.AddRow("plain", 7)
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n\"x,y\",\"quote\"\"inside\"\nplain,7\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{Title: "bars", Unit: "%", Width: 10}
+	c.Add("full", 100)
+	c.Add("half", 50)
+	c.Add("tiny", 0.001)
+	c.Add("zero", 0)
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Errorf("full bar not at max width:\n%s", out)
+	}
+	if !strings.Contains(out, strings.Repeat("#", 5)+" 50%") {
+		t.Errorf("half bar wrong:\n%s", out)
+	}
+	// Tiny non-zero values keep a visible trace; zero shows none.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var tinyLine, zeroLine string
+	for _, l := range lines {
+		if strings.Contains(l, "tiny") {
+			tinyLine = l
+		}
+		if strings.Contains(l, "zero") {
+			zeroLine = l
+		}
+	}
+	if !strings.Contains(tinyLine, "#") {
+		t.Errorf("tiny value lost its trace: %q", tinyLine)
+	}
+	if strings.Contains(zeroLine, "#") {
+		t.Errorf("zero value must have no bar: %q", zeroLine)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := &BarChart{Title: "empty"}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("title missing")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{42, "42"},
+		{42.5, "42.5"},
+		{0.12345, "0.1235"},
+		{1234.56, "1234.6"},
+	}
+	for _, tt := range tests {
+		if got := formatValue(tt.v); got != tt.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

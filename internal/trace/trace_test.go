@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+)
+
+func TestRecordGolden(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.OpSbi, Rs: 0, Imm: 0, Imm2: 'H'},
+		{Op: isa.OpLb, Rd: 1, Rs: 0, Imm: 0},
+		{Op: isa.OpSb, Rt: 1, Rs: 0, Imm: int32(machine.PortSerial)},
+		{Op: isa.OpHalt},
+	}
+	g, err := Record("t", machine.Config{RAMSize: 4}, prog, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cycles != 4 {
+		t.Errorf("cycles = %d, want 4", g.Cycles)
+	}
+	if g.RAMBits != 32 {
+		t.Errorf("RAMBits = %d, want 32", g.RAMBits)
+	}
+	if g.SpaceSize() != 128 {
+		t.Errorf("space = %d, want 128", g.SpaceSize())
+	}
+	if !bytes.Equal(g.Serial, []byte("H")) {
+		t.Errorf("serial = %q", g.Serial)
+	}
+	want := []Access{
+		{Cycle: 1, Addr: 0, Size: 1, Kind: machine.AccessWrite},
+		{Cycle: 2, Addr: 0, Size: 1, Kind: machine.AccessRead},
+	}
+	if len(g.Accesses) != len(want) {
+		t.Fatalf("accesses = %+v", g.Accesses)
+	}
+	for i := range want {
+		if g.Accesses[i] != want[i] {
+			t.Errorf("access %d = %+v, want %+v", i, g.Accesses[i], want[i])
+		}
+	}
+}
+
+func TestRecordRejectsNonHaltingRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []isa.Instruction
+	}{
+		{"timeout", []isa.Instruction{{Op: isa.OpJmp, Imm: 0}}},
+		{"exception", []isa.Instruction{{Op: isa.OpLw, Rd: 1, Rs: 0, Imm: 999}}},
+		{"abort", []isa.Instruction{{Op: isa.OpSwi, Rs: 0, Imm: int32(machine.PortAbort), Imm2: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Record("t", machine.Config{RAMSize: 4}, tc.prog, nil, 50); err == nil {
+				t.Error("Record must reject non-halting golden runs")
+			}
+		})
+	}
+}
+
+func TestRecordBadConfig(t *testing.T) {
+	if _, err := Record("t", machine.Config{RAMSize: 0}, []isa.Instruction{{Op: isa.OpHalt}}, nil, 10); err == nil {
+		t.Error("Record must propagate config errors")
+	}
+}
+
+func TestRecordCapturesDetectionCounters(t *testing.T) {
+	prog := []isa.Instruction{
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(machine.PortDetect), Imm2: 1},
+		{Op: isa.OpSwi, Rs: 0, Imm: int32(machine.PortCorrect), Imm2: 1},
+		{Op: isa.OpHalt},
+	}
+	g, err := Record("t", machine.Config{RAMSize: 4}, prog, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Detects != 1 || g.Corrects != 1 {
+		t.Errorf("detects=%d corrects=%d, want 1/1", g.Detects, g.Corrects)
+	}
+}
