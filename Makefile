@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz-smoke bench
+
+# check is the tier-1 gate: everything a PR must keep green.
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A short deterministic-corpus + 10s randomized smoke of the checkpoint
+# decoder: corrupted checkpoint files must error, never panic.
+fuzz-smoke:
+	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
+
+bench:
+	$(GO) test -bench=. -benchmem

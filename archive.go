@@ -1,6 +1,7 @@
 package faultspace
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,15 @@ import (
 	"faultspace/internal/pruning"
 	"faultspace/internal/trace"
 )
+
+// identityHex renders a campaign identity hash for the archive; the zero
+// hash (identity unknown) maps to the empty string.
+func identityHex(id [32]byte) string {
+	if id == ([32]byte{}) {
+		return ""
+	}
+	return hex.EncodeToString(id[:])
+}
 
 // Scan archives persist completed campaigns as JSON so that expensive
 // scans can be stored, shared and re-analyzed without re-running the
@@ -21,8 +31,13 @@ import (
 const scanArchiveVersion = 1
 
 type scanArchive struct {
-	Version       int            `json:"version"`
-	Name          string         `json:"name"`
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	// Identity is the hex campaign identity hash (see CampaignIdentity),
+	// correlating the archive with the campaign (and any checkpoint file)
+	// that produced it. Empty in archives from older builds or results
+	// reconstructed without a program.
+	Identity      string         `json:"identity,omitempty"`
 	Space         string         `json:"space"`
 	Cycles        uint64         `json:"cycles"`
 	Bits          uint64         `json:"bits"`
@@ -50,6 +65,7 @@ func SaveScan(w io.Writer, r *ScanResult) error {
 	a := scanArchive{
 		Version:       scanArchiveVersion,
 		Name:          r.Target.Name,
+		Identity:      identityHex(r.Identity),
 		Space:         r.Space.Kind.String(),
 		Cycles:        r.Space.Cycles,
 		Bits:          r.Space.Bits,
@@ -109,8 +125,17 @@ func LoadScan(r io.Reader) (*ScanResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: scan archive inconsistent: %w", err)
 	}
+	var id [32]byte
+	if a.Identity != "" {
+		raw, err := hex.DecodeString(a.Identity)
+		if err != nil || len(raw) != len(id) {
+			return nil, fmt.Errorf("faultspace: scan archive has malformed identity %q", a.Identity)
+		}
+		copy(id[:], raw)
+	}
 	return &ScanResult{
-		Target: campaign.Target{Name: a.Name},
+		Identity: id,
+		Target:   campaign.Target{Name: a.Name},
 		Golden: &trace.Golden{
 			Name:     a.Name,
 			Cycles:   a.Cycles,

@@ -17,12 +17,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"faultspace"
 	"faultspace/internal/campaign"
@@ -32,13 +35,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "favscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// run executes one favscan invocation. Reports go to w (stdout); progress
+// and checkpoint chatter go to errW (stderr), so a resumed campaign's
+// stdout report stays byte-identical to an uninterrupted run's.
+func run(args []string, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("favscan", flag.ContinueOnError)
 	var (
 		variant  = fs.String("variant", "baseline", "baseline, sum+dmr, dft:N or dft2:N")
@@ -53,6 +59,9 @@ func run(args []string, w io.Writer) error {
 		saveTo   = fs.String("save", "", "write the full-scan result as a JSON archive to this file")
 		loadFrom = fs.String("load", "", "analyze a previously saved scan archive instead of scanning")
 		csv      = fs.Bool("csv", false, "emit tables as CSV")
+		ckpt     = fs.String("checkpoint", "", "stream completed experiments into this crash-safe checkpoint file")
+		resume   = fs.Bool("resume", false, "continue the campaign recorded in -checkpoint (skip completed classes)")
+		progress = fs.Bool("progress", false, "print live progress (classes done, exp/s, ETA) to stderr")
 		binsemN  = fs.Int("binsem-rounds", 4, "bin_sem2 ping-pong rounds")
 		syncN    = fs.Int("sync-rounds", 3, "sync2 handshake rounds")
 		syncBuf  = fs.Int("sync-buf", 64, "sync2 message-buffer bytes")
@@ -61,9 +70,16 @@ func run(args []string, w io.Writer) error {
 		mboxN    = fs.Int("mbox-messages", 6, "mbox1 messages")
 		preemptN = fs.Int("preempt-work", 40, "preempt1 work units per thread")
 		preemptP = fs.Uint64("preempt-period", 48, "preempt1 timer period (cycles)")
+		sortN    = fs.Int("sort-elements", 12, "sort1 array elements")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckpt != "" && (*sample > 0 || *loadFrom != "") {
+		return fmt.Errorf("-checkpoint applies to full scans only (not -sample or -load)")
 	}
 
 	if *loadFrom != "" {
@@ -106,11 +122,15 @@ func run(args []string, w io.Writer) error {
 		MboxMessages:  *mboxN,
 		PreemptWork:   *preemptN,
 		PreemptPeriod: *preemptP,
+		SortElements:  *sortN,
 	})
 	if err != nil {
 		return err
 	}
 	opts := faultspace.ScanOptions{Workers: *workers, Rerun: *rerun}
+	if *progress {
+		opts.OnProgress = progressPrinter(errW)
+	}
 	switch *space {
 	case "memory", "mem", "":
 		opts.Space = faultspace.SpaceMemory
@@ -134,8 +154,32 @@ func run(args []string, w io.Writer) error {
 		return printSample(w, prog.Name, sr, *csv)
 	}
 
+	if *ckpt != "" {
+		opts.Checkpoint = *ckpt
+		opts.Resume = *resume
+		// Graceful SIGINT: stop feeding experiments, let in-flight ones
+		// finish, flush the checkpoint, then exit non-zero.
+		intCh := make(chan struct{})
+		doneCh := make(chan struct{})
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt)
+		defer signal.Stop(sigCh)
+		defer close(doneCh)
+		go func() {
+			select {
+			case <-sigCh:
+				fmt.Fprintln(errW, "favscan: interrupt — flushing checkpoint")
+				close(intCh)
+			case <-doneCh:
+			}
+		}()
+		opts.Interrupt = intCh
+	}
 	scan, err := faultspace.Scan(prog, opts)
 	if err != nil {
+		if errors.Is(err, faultspace.ErrInterrupted) {
+			return fmt.Errorf("scan interrupted; progress saved to %s — rerun with -resume to continue", *ckpt)
+		}
 		return err
 	}
 	if *saveTo != "" {
@@ -163,6 +207,24 @@ func run(args []string, w io.Writer) error {
 		return printOutcomes(w, scan, *csv)
 	}
 	return nil
+}
+
+// progressPrinter renders the scan's progress stream as single lines on
+// errW: running counts while scanning, and a final summary line.
+func progressPrinter(errW io.Writer) func(faultspace.Progress) {
+	return func(p faultspace.Progress) {
+		pct := 100.0
+		if p.Total > 0 {
+			pct = 100 * float64(p.Done) / float64(p.Total)
+		}
+		if p.Final {
+			fmt.Fprintf(errW, "scan finished: %d/%d classes (%.1f%%), %d run this session in %s (%.0f exp/s), %d failure classes\n",
+				p.Done, p.Total, pct, p.Session, p.Elapsed.Round(time.Millisecond), p.Rate, p.Failures())
+			return
+		}
+		fmt.Fprintf(errW, "progress: %d/%d classes (%.1f%%)  %.0f exp/s  ETA %s  failures %d\n",
+			p.Done, p.Total, pct, p.Rate, p.ETA.Round(time.Second), p.Failures())
+	}
 }
 
 func printAnalysis(w io.Writer, a faultspace.Analysis, csv bool) error {

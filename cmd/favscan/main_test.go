@@ -1,15 +1,37 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
+
+	"faultspace/internal/checkpoint"
 )
+
+// TestMain doubles the test binary as the favscan executable: with
+// FAVSCAN_CHILD=1 it runs a real favscan invocation instead of the test
+// suite, so the kill/resume test can SIGINT an actual child process.
+func TestMain(m *testing.M) {
+	if os.Getenv("FAVSCAN_CHILD") == "1" {
+		if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "favscan:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func runScan(t *testing.T, args ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(args, &sb); err != nil {
+	if err := run(args, &sb, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return sb.String()
@@ -84,23 +106,140 @@ func TestSaveAndLoadArchive(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := run([]string{"-load", path, "hi"}, &sb); err == nil {
+	if err := run([]string{"-load", path, "hi"}, &sb, io.Discard); err == nil {
 		t.Error("-load with a benchmark argument must fail")
 	}
-	if err := run([]string{"-load", filepath.Join(dir, "missing.json")}, &sb); err == nil {
+	if err := run([]string{"-load", filepath.Join(dir, "missing.json")}, &sb, io.Discard); err == nil {
 		t.Error("-load of a missing file must fail")
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-resume", "hi"}, &sb, io.Discard); err == nil {
+		t.Error("-resume without -checkpoint must fail")
+	}
+	ck := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := run([]string{"-checkpoint", ck, "-sample", "10", "hi"}, &sb, io.Discard); err == nil {
+		t.Error("-checkpoint with -sample must fail")
+	}
+	if err := run([]string{"-checkpoint", ck, "-load", "x.json"}, &sb, io.Discard); err == nil {
+		t.Error("-checkpoint with -load must fail")
+	}
+}
+
+func TestProgressOutput(t *testing.T) {
+	var out, prog strings.Builder
+	if err := run([]string{"-progress", "hi"}, &out, &prog); err != nil {
+		t.Fatal(err)
+	}
+	p := prog.String()
+	if !strings.Contains(p, "progress: 0/16 classes") {
+		t.Errorf("missing initial progress line:\n%s", p)
+	}
+	if !strings.Contains(p, "scan finished: 16/16 classes (100.0%)") {
+		t.Errorf("missing final summary line:\n%s", p)
+	}
+	if strings.Contains(out.String(), "progress") {
+		t.Error("progress chatter leaked into the stdout report")
+	}
+}
+
+// TestCheckpointCreateThenResume exercises the checkpoint path without a
+// kill: a completed campaign's checkpoint resumes as a no-op with a
+// byte-identical report, a fresh -checkpoint refuses to overwrite it, and
+// -resume with a different program is rejected by the identity hash.
+func TestCheckpointCreateThenResume(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "hi.ckpt")
+	first := runScan(t, "-checkpoint", ck, "hi")
+	resumed := runScan(t, "-checkpoint", ck, "-resume", "hi")
+	if first != resumed {
+		t.Errorf("no-op resume changed the report:\n--- first ---\n%s--- resumed ---\n%s", first, resumed)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-checkpoint", ck, "hi"}, &sb, io.Discard); err == nil {
+		t.Error("-checkpoint must refuse an existing file without -resume")
+	}
+	if err := run([]string{"-checkpoint", ck, "-resume", "sort1"}, &sb, io.Discard); err == nil {
+		t.Error("-resume with a different campaign must fail the identity check")
+	}
+}
+
+// TestKillAndResumeByteIdentical is the acceptance test for crash-safe
+// campaigns: a real favscan child process is interrupted with SIGINT
+// mid-scan, then the campaign is resumed from its checkpoint, and the
+// resumed report must be byte-identical to an uninterrupted run's. The
+// child scans with the slow rerun strategy so the interrupt reliably
+// lands mid-run; the resume switches back to the snapshot strategy,
+// which the campaign identity deliberately permits.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("relies on SIGINT delivery")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(t.TempDir(), "sort1.ckpt")
+	campaign := []string{"-workers", "1", "-sort-elements", "48", "sort1"}
+
+	child := exec.Command(exe, append([]string{"-checkpoint", ck, "-progress", "-rerun"}, campaign...)...)
+	child.Env = append(os.Environ(), "FAVSCAN_CHILD=1")
+	var childErr strings.Builder
+	child.Stdout = io.Discard
+	child.Stderr = &childErr
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one record frame has been flushed (the header
+	// alone is 61 bytes; a flushed frame adds hundreds), then interrupt.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(ck); err == nil && fi.Size() > 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			child.Process.Kill()
+			t.Fatalf("checkpoint never grew past its header; child stderr:\n%s", childErr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := child.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Wait(); err == nil {
+		t.Fatalf("child completed before the interrupt landed; stderr:\n%s", childErr.String())
+	}
+	if !strings.Contains(childErr.String(), "interrupt") {
+		t.Errorf("child stderr does not mention the interrupt:\n%s", childErr.String())
+	}
+
+	h, prior, err := checkpoint.Load(ck)
+	if err != nil {
+		t.Fatalf("checkpoint after SIGINT must be valid: %v", err)
+	}
+	if len(prior) == 0 || uint64(len(prior)) >= h.Classes {
+		t.Fatalf("checkpoint holds %d/%d classes, want a proper partial campaign", len(prior), h.Classes)
+	}
+	t.Logf("child interrupted after %d/%d classes", len(prior), h.Classes)
+
+	resumed := runScan(t, append([]string{"-checkpoint", ck, "-resume"}, campaign...)...)
+	reference := runScan(t, campaign...)
+	if resumed != reference {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s",
+			resumed, reference)
 	}
 }
 
 func TestScanErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-sample", "10", "-biased", "-effective", "hi"}, &sb); err == nil {
+	if err := run([]string{"-sample", "10", "-biased", "-effective", "hi"}, &sb, io.Discard); err == nil {
 		t.Error("biased+effective must fail")
 	}
-	if err := run([]string{"nonsense"}, &sb); err == nil {
+	if err := run([]string{"nonsense"}, &sb, io.Discard); err == nil {
 		t.Error("unknown benchmark must fail")
 	}
-	if err := run([]string{}, &sb); err == nil {
+	if err := run([]string{}, &sb, io.Discard); err == nil {
 		t.Error("missing argument must fail")
 	}
 }

@@ -1,0 +1,127 @@
+package faultspace
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"faultspace/internal/progs"
+)
+
+// equivSizes shrinks every bundled benchmark so the naive rerun strategy
+// stays affordable: the differential suite runs each benchmark twice in
+// full plus an interrupted+resumed pass.
+var equivSizes = progs.Sizes{
+	BinSemRounds:  1,
+	SyncRounds:    1,
+	SyncBufBytes:  16,
+	ClockTicks:    2,
+	ClockPeriod:   32,
+	MboxMessages:  2,
+	PreemptWork:   8,
+	PreemptPeriod: 24,
+	SortElements:  6,
+}
+
+func equivProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	spec, err := progs.Resolve(name, equivSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spec.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func assertSameOutcomes(t *testing.T, label string, want, got *ScanResult) {
+	t.Helper()
+	if len(want.Outcomes) != len(got.Outcomes) {
+		t.Fatalf("%s: %d outcomes vs %d", label, len(got.Outcomes), len(want.Outcomes))
+	}
+	for i := range want.Outcomes {
+		if want.Outcomes[i] != got.Outcomes[i] {
+			t.Fatalf("%s: class %d (slot %d, bit %d): %v vs %v", label, i,
+				want.Space.Classes[i].Slot(), want.Space.Classes[i].Bit,
+				got.Outcomes[i], want.Outcomes[i])
+		}
+	}
+}
+
+// TestStrategyEquivalenceAllBenchmarks is the differential suite: for
+// every bundled benchmark, StrategySnapshot and StrategyRerun must
+// produce identical outcome vectors (the invariant that justifies
+// excluding the strategy from the campaign identity hash), and a scan
+// interrupted at ~50% and resumed from its checkpoint must match an
+// uninterrupted scan bit-for-bit.
+func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
+	for _, name := range progs.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog := equivProgram(t, name)
+			snap, err := Scan(prog, ScanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rerun, err := Scan(prog, ScanOptions{Rerun: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameOutcomes(t, "snapshot vs rerun", snap, rerun)
+			if snap.Identity != rerun.Identity {
+				t.Error("strategies must share one campaign identity")
+			}
+
+			// Interrupt at ~50%, then resume from the checkpoint file.
+			ck := filepath.Join(t.TempDir(), name+".ckpt")
+			intCh := make(chan struct{})
+			var once sync.Once
+			partial, err := Scan(prog, ScanOptions{
+				Workers:          1,
+				Checkpoint:       ck,
+				ProgressInterval: -1,
+				OnProgress: func(p Progress) {
+					if p.Done >= p.Total/2 && p.Done > 0 {
+						once.Do(func() { close(intCh) })
+					}
+				},
+				Interrupt: intCh,
+			})
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("interrupted scan: err = %v, want ErrInterrupted", err)
+			}
+			if partial == nil {
+				t.Fatal("interrupted scan must return its partial result")
+			}
+			resumed, err := Scan(prog, ScanOptions{Checkpoint: ck, Resume: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameOutcomes(t, "interrupted+resumed vs uninterrupted", snap, resumed)
+			if resumed.Identity != snap.Identity {
+				t.Error("resumed scan must keep the campaign identity")
+			}
+		})
+	}
+}
+
+// TestStrategyEquivalenceRegisters extends the differential check to the
+// §VI-B register fault space on a subset of benchmarks.
+func TestStrategyEquivalenceRegisters(t *testing.T) {
+	for _, name := range []string{"hi", "sort1"} {
+		t.Run(name, func(t *testing.T) {
+			prog := equivProgram(t, name)
+			snap, err := Scan(prog, ScanOptions{Space: SpaceRegisters})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rerun, err := Scan(prog, ScanOptions{Space: SpaceRegisters, Rerun: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameOutcomes(t, "registers snapshot vs rerun", snap, rerun)
+		})
+	}
+}

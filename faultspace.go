@@ -34,10 +34,13 @@
 package faultspace
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"faultspace/internal/asm"
 	"faultspace/internal/campaign"
+	"faultspace/internal/checkpoint"
 	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
 	"faultspace/internal/trace"
@@ -75,6 +78,14 @@ const (
 	SpaceRegisters = pruning.SpaceRegisters
 )
 
+// Progress is one event of a scan's progress stream; see ScanOptions.
+type Progress = campaign.Progress
+
+// ErrInterrupted is returned by Scan when the campaign was stopped via
+// ScanOptions.Interrupt. All completed experiments have been flushed to
+// the checkpoint (if one is configured); rerun with Resume to continue.
+var ErrInterrupted = campaign.ErrInterrupted
+
 // ScanOptions parameterizes Scan.
 type ScanOptions struct {
 	// TimeoutFactor bounds experiment runtime as a multiple of the golden
@@ -90,6 +101,30 @@ type ScanOptions struct {
 	MaxGoldenCycles uint64
 	// Space selects the fault space (default SpaceMemory).
 	Space SpaceKind
+
+	// Checkpoint, when non-empty, streams every completed experiment into
+	// the crash-safe checkpoint file at this path (see internal/checkpoint
+	// for the format). The file is keyed by the campaign identity hash, so
+	// it can never be resumed against a different program, fault space or
+	// outcome-relevant configuration.
+	Checkpoint string
+	// Resume continues a previous campaign from Checkpoint: completed
+	// classes are loaded and skipped, only the remainder runs. If the
+	// checkpoint file does not exist yet, the scan starts fresh — so
+	// passing Checkpoint+Resume unconditionally gives at-least-once
+	// crash-restart semantics. Without Resume, Scan refuses to overwrite
+	// an existing checkpoint.
+	Resume bool
+	// OnProgress, when non-nil, receives progress events: one initial,
+	// throttled intermediate ones (see ProgressInterval), one final.
+	OnProgress func(Progress)
+	// ProgressInterval throttles intermediate progress events
+	// (default 1s; negative = one event per experiment).
+	ProgressInterval time.Duration
+	// Interrupt, when non-nil, stops the scan gracefully once closed:
+	// in-flight experiments finish and are checkpointed, then Scan
+	// returns the partial result with ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // DefaultMaxGoldenCycles bounds golden runs when ScanOptions leaves
@@ -98,8 +133,11 @@ const DefaultMaxGoldenCycles = 1 << 22
 
 func (o ScanOptions) campaignConfig() campaign.Config {
 	cfg := campaign.Config{
-		TimeoutFactor: o.TimeoutFactor,
-		Workers:       o.Workers,
+		TimeoutFactor:    o.TimeoutFactor,
+		Workers:          o.Workers,
+		OnProgress:       o.OnProgress,
+		ProgressInterval: o.ProgressInterval,
+		Interrupt:        o.Interrupt,
 	}
 	if o.Rerun {
 		cfg.Strategy = campaign.StrategyRerun
@@ -142,18 +180,82 @@ func Target(p *Program) campaign.Target {
 
 // Scan records the golden run of the program, prunes its fault space and
 // performs a complete fault-space scan: one experiment per def/use
-// equivalence class.
+// equivalence class. With ScanOptions.Checkpoint set, completed
+// experiments stream into a crash-safe checkpoint file; with Resume, a
+// previous campaign's checkpoint is continued instead of restarted.
 func Scan(p *Program, opts ScanOptions) (*ScanResult, error) {
 	t := Target(p)
 	golden, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: %w", err)
 	}
-	res, err := campaign.FullScan(t, golden, fs, opts.campaignConfig())
+	cfg := opts.campaignConfig()
+	if opts.Checkpoint == "" {
+		res, err := campaign.ResumeScan(t, golden, fs, cfg, nil)
+		if err != nil {
+			if errors.Is(err, campaign.ErrInterrupted) {
+				return res, fmt.Errorf("faultspace: %w", err)
+			}
+			return nil, fmt.Errorf("faultspace: %w", err)
+		}
+		return res, nil
+	}
+	return scanCheckpointed(t, golden, fs, cfg, opts)
+}
+
+// scanCheckpointed runs a full scan that streams completed experiments
+// into (and, when resuming, restores them from) a checkpoint file.
+func scanCheckpointed(t campaign.Target, golden *Golden, fs *FaultSpace, cfg campaign.Config, opts ScanOptions) (*ScanResult, error) {
+	id, err := t.CampaignIdentity(fs.Kind, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: %w", err)
 	}
+	hdr := checkpoint.Header{Version: checkpoint.Version, Identity: id, Classes: uint64(len(fs.Classes))}
+
+	var w *checkpoint.Writer
+	var prior map[int]campaign.Outcome
+	if opts.Resume {
+		var raw map[int]uint8
+		w, raw, err = checkpoint.Open(opts.Checkpoint, hdr)
+		if err != nil {
+			return nil, fmt.Errorf("faultspace: %w", err)
+		}
+		prior = make(map[int]campaign.Outcome, len(raw))
+		for ci, o := range raw {
+			if int(o) >= campaign.NumOutcomes {
+				w.Close()
+				return nil, fmt.Errorf("faultspace: checkpoint class %d has unknown outcome %d", ci, o)
+			}
+			prior[ci] = campaign.Outcome(o)
+		}
+	} else {
+		w, err = checkpoint.Create(opts.Checkpoint, hdr)
+		if err != nil {
+			return nil, fmt.Errorf("faultspace: %w (resume to continue an existing checkpoint)", err)
+		}
+	}
+	cfg.OnResult = func(ci int, o campaign.Outcome) { w.Append(ci, uint8(o)) }
+
+	res, scanErr := campaign.ResumeScan(t, golden, fs, cfg, prior)
+	// Close flushes buffered records — including on the interrupt path,
+	// which is what makes a SIGINT-killed campaign resumable without loss.
+	if cerr := w.Close(); cerr != nil && scanErr == nil {
+		return nil, fmt.Errorf("faultspace: %w", cerr)
+	}
+	if scanErr != nil {
+		if errors.Is(scanErr, campaign.ErrInterrupted) {
+			return res, fmt.Errorf("faultspace: %w", scanErr)
+		}
+		return nil, fmt.Errorf("faultspace: %w", scanErr)
+	}
 	return res, nil
+}
+
+// CampaignIdentity returns the campaign identity hash Scan would use for
+// this program and options — the key binding checkpoints and archives to
+// their campaign (see campaign.Target.CampaignIdentity).
+func CampaignIdentity(p *Program, opts ScanOptions) ([32]byte, error) {
+	return Target(p).CampaignIdentity(opts.space(), opts.campaignConfig())
 }
 
 // SampleOptions parameterizes Sample.

@@ -1,0 +1,119 @@
+package campaign
+
+import "time"
+
+// Progress is one event of a scan's progress stream. Events are delivered
+// to Config.OnProgress serially: an initial event when the scan starts
+// (reflecting any checkpoint-restored classes), throttled events while
+// experiments complete, and a final event (Final=true) when the scan
+// finishes, errors out or is interrupted.
+type Progress struct {
+	// Done is the number of classes with a recorded outcome, including
+	// classes restored from a checkpoint. Total is the class count of the
+	// fault space.
+	Done, Total int
+	// Session counts the experiments executed by this scan run only
+	// (excludes checkpoint-restored classes) — the basis of Rate.
+	Session int
+	// Counts are running per-outcome class counts, including restored
+	// classes.
+	Counts [NumOutcomes]uint64
+	// Elapsed is the wall time since this scan run started.
+	Elapsed time.Duration
+	// Rate is experiments per second this session (0 until measurable).
+	Rate float64
+	// ETA estimates the remaining wall time from Rate (0 when unknown).
+	ETA time.Duration
+	// Final marks the last event of the scan.
+	Final bool
+}
+
+// Failures returns the running weighted-class failure count — the number
+// of classes (not weights) with a non-benign outcome so far.
+func (p Progress) Failures() uint64 {
+	var n uint64
+	for o := 0; o < NumOutcomes; o++ {
+		if !Outcome(o).Benign() {
+			n += p.Counts[o]
+		}
+	}
+	return n
+}
+
+// meter accumulates scan progress and drives the OnResult / OnProgress
+// callbacks. All mutating calls happen on the collector goroutine (or,
+// for the initial and final events, strictly before/after it runs), so
+// no locking is needed.
+type meter struct {
+	onResult   func(class int, o Outcome)
+	onProgress func(Progress)
+	interval   time.Duration // < 0: emit every record
+
+	total    int
+	done     int
+	session  int
+	counts   [NumOutcomes]uint64
+	start    time.Time
+	lastEmit time.Time
+	finished bool
+}
+
+// newMeter seeds the meter with checkpoint-restored outcomes and emits
+// the initial progress event.
+func newMeter(cfg Config, total int, prior map[int]Outcome) *meter {
+	m := &meter{
+		onResult:   cfg.OnResult,
+		onProgress: cfg.OnProgress,
+		interval:   cfg.ProgressInterval,
+		total:      total,
+		done:       len(prior),
+		start:      time.Now(),
+	}
+	for _, o := range prior {
+		m.counts[o]++
+	}
+	if m.onProgress != nil {
+		m.emit(false)
+	}
+	return m
+}
+
+// record accounts one completed experiment.
+func (m *meter) record(class int, o Outcome) {
+	m.counts[o]++
+	m.done++
+	m.session++
+	if m.onResult != nil {
+		m.onResult(class, o)
+	}
+	if m.onProgress != nil && (m.interval < 0 || time.Since(m.lastEmit) >= m.interval) {
+		m.emit(false)
+	}
+}
+
+// finish emits the final progress event (idempotent).
+func (m *meter) finish() {
+	if m.onProgress != nil && !m.finished {
+		m.emit(true)
+	}
+	m.finished = true
+}
+
+func (m *meter) emit(final bool) {
+	p := Progress{
+		Done:    m.done,
+		Total:   m.total,
+		Session: m.session,
+		Counts:  m.counts,
+		Elapsed: time.Since(m.start),
+		Final:   final,
+	}
+	if p.Elapsed > 0 && m.session > 0 {
+		p.Rate = float64(m.session) / p.Elapsed.Seconds()
+		if remaining := m.total - m.done; remaining > 0 && p.Rate > 0 {
+			p.ETA = time.Duration(float64(remaining) / p.Rate * float64(time.Second))
+		}
+	}
+	m.lastEmit = time.Now()
+	m.onProgress(p)
+}

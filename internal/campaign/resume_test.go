@@ -1,0 +1,303 @@
+package campaign
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"faultspace/internal/pruning"
+)
+
+// TestResumeScanMatchesFull feeds half of a completed scan back as prior
+// outcomes: the resumed scan must re-run only the remainder and produce
+// the identical outcome vector.
+func TestResumeScanMatchesFull(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	full, err := FullScan(target, golden, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prior := make(map[int]Outcome)
+	for i := 0; i < len(full.Outcomes); i += 2 {
+		prior[i] = full.Outcomes[i]
+	}
+	var reran []int
+	cfg := Config{OnResult: func(ci int, o Outcome) { reran = append(reran, ci) }}
+	res, err := ResumeScan(target, golden, fs, cfg, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reran) != len(full.Outcomes)-len(prior) {
+		t.Errorf("resume re-ran %d classes, want %d", len(reran), len(full.Outcomes)-len(prior))
+	}
+	for _, ci := range reran {
+		if _, ok := prior[ci]; ok {
+			t.Errorf("resume re-ran already-completed class %d", ci)
+		}
+	}
+	for i := range full.Outcomes {
+		if res.Outcomes[i] != full.Outcomes[i] {
+			t.Errorf("class %d: resumed=%v full=%v", i, res.Outcomes[i], full.Outcomes[i])
+		}
+	}
+	if res.Identity != full.Identity || res.Identity == ([32]byte{}) {
+		t.Error("resumed scan must carry the same non-zero campaign identity")
+	}
+}
+
+func TestResumeScanValidation(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	if _, err := ResumeScan(target, golden, fs, Config{}, map[int]Outcome{len(fs.Classes): 0}); err == nil {
+		t.Error("out-of-range prior class index must be rejected")
+	}
+	if _, err := ResumeScan(target, golden, fs, Config{}, map[int]Outcome{0: Outcome(200)}); err == nil {
+		t.Error("unknown prior outcome must be rejected")
+	}
+	// A fully-completed prior set needs no execution at all.
+	full, err := FullScan(target, golden, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := make(map[int]Outcome, len(full.Outcomes))
+	for i, o := range full.Outcomes {
+		prior[i] = o
+	}
+	cfg := Config{OnResult: func(int, Outcome) { t.Error("complete prior must not execute experiments") }}
+	res, err := ResumeScan(target, golden, fs, cfg, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Outcomes {
+		if res.Outcomes[i] != full.Outcomes[i] {
+			t.Fatalf("class %d differs on no-op resume", i)
+		}
+	}
+}
+
+// TestInterruptedScanResumes kills a scan at roughly 50% via the
+// Interrupt channel, then resumes from the streamed results: the merged
+// outcome vector must be bit-identical to an uninterrupted scan, for both
+// execution strategies.
+func TestInterruptedScanResumes(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	full, err := FullScan(target, golden, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategySnapshot, StrategyRerun} {
+		var mu sync.Mutex
+		done := make(map[int]Outcome)
+		intCh := make(chan struct{})
+		var once sync.Once
+		half := len(fs.Classes) / 2
+		// One worker and a small results buffer bound how far the scan can
+		// run past the interrupt: the worker stops at its next per-class
+		// interrupt check, well before the last class.
+		cfg := Config{
+			Strategy: strat,
+			Workers:  1,
+			OnResult: func(ci int, o Outcome) {
+				mu.Lock()
+				done[ci] = o
+				n := len(done)
+				mu.Unlock()
+				if n >= half {
+					once.Do(func() { close(intCh) })
+				}
+			},
+			Interrupt: intCh,
+		}
+		res, err := ResumeScan(target, golden, fs, cfg, nil)
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("strategy %d: err = %v, want ErrInterrupted", strat, err)
+		}
+		if res == nil {
+			t.Fatalf("strategy %d: interrupted scan must return the partial result", strat)
+		}
+		if len(done) >= len(fs.Classes) {
+			t.Fatalf("strategy %d: interrupt did not stop the scan (%d/%d classes ran)",
+				strat, len(done), len(fs.Classes))
+		}
+		// Everything streamed so far must match the full scan already.
+		for ci, o := range done {
+			if o != full.Outcomes[ci] {
+				t.Errorf("strategy %d: class %d: interrupted=%v full=%v", strat, ci, o, full.Outcomes[ci])
+			}
+		}
+		resumed, err := ResumeScan(target, golden, fs, Config{Strategy: strat}, done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range full.Outcomes {
+			if resumed.Outcomes[i] != full.Outcomes[i] {
+				t.Errorf("strategy %d: class %d: resumed=%v full=%v",
+					strat, i, resumed.Outcomes[i], full.Outcomes[i])
+			}
+		}
+	}
+}
+
+// badFlipSpace builds a fault space whose classes all point outside RAM,
+// so every flip attempt fails. Many slots and classes keep the feeder
+// busy while every worker dies — the scenario that used to be able to
+// wedge the feeder when workers stopped draining their channel.
+func badFlipSpace(golden uint64, ramBits uint64) *pruning.FaultSpace {
+	fs := &pruning.FaultSpace{Kind: pruning.SpaceMemory, Cycles: golden, Bits: ramBits}
+	for slot := uint64(1); slot <= golden; slot++ {
+		for i := uint64(0); i < 8; i++ {
+			fs.Classes = append(fs.Classes, pruning.Class{
+				Bit:      ramBits + slot*8 + i, // out of range: flip always errors
+				DefCycle: slot - 1,
+				UseCycle: slot,
+			})
+		}
+	}
+	return fs
+}
+
+// TestWorkerErrorNoDeadlock is the regression test for the worker-error
+// path: injected flips that fail in every worker must surface as an
+// error promptly instead of deadlocking the feeder (workers keep
+// draining their work channel after failing).
+func TestWorkerErrorNoDeadlock(t *testing.T) {
+	target := hiTarget(t)
+	golden, _ := prepare(t, target)
+	fs := badFlipSpace(golden.Cycles, golden.RAMBits)
+	for _, strat := range []Strategy{StrategySnapshot, StrategyRerun} {
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := FullScan(target, golden, fs, Config{Strategy: strat, Workers: 2})
+			errCh <- err
+		}()
+		select {
+		case err := <-errCh:
+			if err == nil {
+				t.Fatalf("strategy %d: failing flips must yield an error", strat)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("strategy %d: scan deadlocked on worker error", strat)
+		}
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	var events []Progress
+	cfg := Config{
+		Workers:          2,
+		ProgressInterval: -1, // every experiment
+		OnProgress:       func(p Progress) { events = append(events, p) },
+	}
+	res, err := FullScan(target, golden, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < len(fs.Classes)+2 {
+		t.Fatalf("got %d progress events, want >= %d (initial + per-class + final)",
+			len(events), len(fs.Classes)+2)
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.Done != 0 || first.Final {
+		t.Errorf("initial event wrong: %+v", first)
+	}
+	if !last.Final || last.Done != len(fs.Classes) || last.Total != len(fs.Classes) {
+		t.Errorf("final event wrong: %+v", last)
+	}
+	prev := -1
+	for _, p := range events {
+		if p.Done < prev {
+			t.Fatalf("progress went backwards: %d after %d", p.Done, prev)
+		}
+		prev = p.Done
+	}
+	var sum uint64
+	for _, c := range last.Counts {
+		sum += c
+	}
+	if sum != uint64(len(fs.Classes)) {
+		t.Errorf("final outcome counts sum to %d, want %d", sum, len(fs.Classes))
+	}
+	if want := res.FailureClasses(); last.Failures() != want {
+		t.Errorf("final failure count %d, want %d", last.Failures(), want)
+	}
+}
+
+func TestCampaignIdentity(t *testing.T) {
+	target := hiTarget(t)
+	id := func(tg Target, kind pruning.SpaceKind, cfg Config) [32]byte {
+		t.Helper()
+		h, err := tg.CampaignIdentity(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base := id(target, pruning.SpaceMemory, Config{})
+	if base == ([32]byte{}) {
+		t.Fatal("identity must be non-zero")
+	}
+	// Execution strategy and parallelism must NOT change the identity:
+	// they are outcome-invariant (enforced by the differential suite).
+	if id(target, pruning.SpaceMemory, Config{Strategy: StrategyRerun, Workers: 7}) != base {
+		t.Error("strategy/workers must not change the campaign identity")
+	}
+	if id(target, pruning.SpaceRegisters, Config{}) == base {
+		t.Error("fault-space kind must change the identity")
+	}
+	if id(target, pruning.SpaceMemory, Config{TimeoutFactor: 8}) == base {
+		t.Error("timeout budget must change the identity")
+	}
+	mutated := target
+	mutated.Image = append([]byte{}, target.Image...)
+	mutated.Image = append(mutated.Image, 0xAA)
+	if id(mutated, pruning.SpaceMemory, Config{}) == base {
+		t.Error("RAM image must change the identity")
+	}
+}
+
+// TestRandomCoordinateOracle validates def/use pruning end-to-end on both
+// fault spaces: for random raw (slot, bit) coordinates, the brute-force
+// single experiment must match the outcome the pruned scan implies (the
+// class outcome for members, No Effect for pruned coordinates).
+func TestRandomCoordinateOracle(t *testing.T) {
+	target := hiTarget(t)
+	rng := rand.New(rand.NewSource(23))
+	for _, kind := range []pruning.SpaceKind{pruning.SpaceMemory, pruning.SpaceRegisters} {
+		golden, fs, err := target.PrepareSpace(kind, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FullScan(target, golden, fs, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{}.withDefaults()
+		for n := 0; n < 200; n++ {
+			slot := 1 + uint64(rng.Int63n(int64(fs.Cycles)))
+			bit := uint64(rng.Int63n(int64(fs.Bits)))
+			got, err := RunSingleSpace(target, golden, cfg, kind, slot, bit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci, inClass, err := fs.Locate(slot, bit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := OutcomeNoEffect
+			if inClass {
+				want = res.Outcomes[ci]
+			}
+			if got != want {
+				t.Fatalf("%s (%d, %d): brute=%v pruned=%v (inClass=%v)",
+					kind, slot, bit, got, want, inClass)
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
@@ -17,13 +19,35 @@ type Result struct {
 	Space  *pruning.FaultSpace
 	// Outcomes is parallel to Space.Classes.
 	Outcomes []Outcome
+	// Identity is the campaign identity hash (see Target.CampaignIdentity);
+	// zero for results reconstructed from archives that predate it.
+	Identity [32]byte
 }
+
+// ErrInterrupted is returned by a scan stopped via Config.Interrupt. The
+// partial Result is returned alongside it: outcomes of classes that did
+// not run yet are zero (OutcomeNoEffect) and must not be analyzed —
+// resume the scan instead.
+var ErrInterrupted = errors.New("campaign: scan interrupted")
 
 // FullScan runs one fault-injection experiment per equivalence class of the
 // pruned fault space and classifies every outcome. The scan is exhaustive:
 // together with the a-priori-known "No Effect" coordinates the result
 // determines the outcome of every coordinate of the raw fault space.
 func FullScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config) (*Result, error) {
+	return ResumeScan(t, golden, fs, cfg, nil)
+}
+
+// ResumeScan is FullScan continuing a partially-completed campaign:
+// classes present in prior (keyed by class index) keep their recorded
+// outcome and are not re-executed; only the remaining classes run. The
+// caller is responsible for prior actually belonging to this campaign —
+// the checkpoint layer enforces that with the campaign identity hash.
+//
+// Completed experiments stream through Config.OnResult and progress
+// events through Config.OnProgress; Config.Interrupt stops the scan
+// early with ErrInterrupted after flushing all finished experiments.
+func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, prior map[int]Outcome) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -34,18 +58,47 @@ func FullScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config
 		Space:    fs,
 		Outcomes: make([]Outcome, len(fs.Classes)),
 	}
-	if len(fs.Classes) == 0 {
+	id, err := t.CampaignIdentity(fs.Kind, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: identity: %w", err)
+	}
+	res.Identity = id
+
+	for ci, o := range prior {
+		if ci < 0 || ci >= len(fs.Classes) {
+			return nil, fmt.Errorf("campaign: resume class index %d outside [0, %d)", ci, len(fs.Classes))
+		}
+		if int(o) >= NumOutcomes {
+			return nil, fmt.Errorf("campaign: resume class %d has unknown outcome %d", ci, o)
+		}
+		res.Outcomes[ci] = o
+	}
+	todo := make([]int, 0, len(fs.Classes)-len(prior))
+	for i := range fs.Classes {
+		if _, ok := prior[i]; !ok {
+			todo = append(todo, i)
+		}
+	}
+
+	m := newMeter(cfg, len(fs.Classes), prior)
+	defer m.finish()
+	if len(todo) == 0 {
 		return res, nil
 	}
-	var err error
+	var scanErr error
 	switch cfg.Strategy {
 	case StrategySnapshot:
-		err = scanSnapshot(t, golden, fs, cfg, res.Outcomes)
+		scanErr = scanSnapshot(t, golden, fs, cfg, todo, res.Outcomes, m)
 	case StrategyRerun:
-		err = scanRerun(t, golden, fs, cfg, res.Outcomes)
+		scanErr = scanRerun(t, golden, fs, cfg, todo, res.Outcomes, m)
 	}
-	if err != nil {
-		return nil, err
+	if scanErr != nil {
+		if errors.Is(scanErr, ErrInterrupted) {
+			// Partial result: everything completed so far has been
+			// recorded (and checkpointed via OnResult).
+			return res, scanErr
+		}
+		return nil, scanErr
 	}
 	return res, nil
 }
@@ -56,6 +109,13 @@ func FullScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config
 type slotGroup struct {
 	snap    *machine.Snapshot
 	classes []int // indices into fs.Classes
+}
+
+// record is one completed experiment streaming from a worker to the
+// collector.
+type record struct {
+	class   int
+	outcome Outcome
 }
 
 // flipFunc injects one single-bit fault into a machine.
@@ -69,7 +129,35 @@ func flipFor(kind pruning.SpaceKind) flipFunc {
 	return (*machine.Machine).FlipBit
 }
 
-func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, out []Outcome) error {
+// collector drains completed experiments into the outcome slice and the
+// meter from a single goroutine, so OnResult/OnProgress callbacks and
+// checkpoint writers never need locking. It returns a channel closed
+// when the results channel has been fully drained.
+func collector(results <-chan record, out []Outcome, m *meter) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			out[r.class] = r.outcome
+			m.record(r.class, r.outcome)
+		}
+	}()
+	return done
+}
+
+// scanFail reports a worker error at most once and raises the stop flag.
+// Workers keep draining their work channel after failing (doing nothing)
+// so the feeder can never deadlock on a send to a channel nobody reads —
+// the bug the regression test TestWorkerErrorNoDeadlock pins down.
+func scanFail(stop *atomic.Bool, errCh chan<- error, err error) {
+	stop.Store(true)
+	select {
+	case errCh <- err:
+	default:
+	}
+}
+
+func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
@@ -79,12 +167,15 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 	}
 
 	groups := make(chan slotGroup)
-	errCh := make(chan error, cfg.Workers)
+	results := make(chan record, cfg.Workers*2)
+	errCh := make(chan error, 1)
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		worker, err := t.newMachine()
 		if err != nil {
 			close(groups)
+			close(results)
 			return err
 		}
 		wg.Add(1)
@@ -92,25 +183,38 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 			defer wg.Done()
 			for g := range groups {
 				for _, ci := range g.classes {
+					// Interrupt granularity is per experiment, not per
+					// slot group: a single group can hold thousands of
+					// classes, and a SIGINT must not wait them out.
+					select {
+					case <-cfg.Interrupt:
+						scanFail(&stop, errCh, ErrInterrupted)
+					default:
+					}
+					if stop.Load() {
+						break
+					}
 					worker.Restore(g.snap)
 					if err := flip(worker, fs.Classes[ci].Bit); err != nil {
-						errCh <- err
-						return
+						scanFail(&stop, errCh, err)
+						break
 					}
 					worker.Run(budget)
-					out[ci] = classify(worker, golden)
+					results <- record{class: ci, outcome: classify(worker, golden)}
 				}
 			}
 		}()
 	}
+	collected := collector(results, out, m)
 
-	// Walk classes grouped by slot, advancing the pioneer to slot-1 cycles
-	// before snapshotting. Classes are sorted by (Slot, Bit).
+	// Walk remaining classes grouped by slot, advancing the pioneer to
+	// slot-1 cycles before snapshotting. Classes (and therefore todo) are
+	// sorted by (Slot, Bit).
 	feed := func() error {
-		for i := 0; i < len(fs.Classes); {
-			slot := fs.Classes[i].Slot()
+		for i := 0; i < len(todo); {
+			slot := fs.Classes[todo[i]].Slot()
 			j := i
-			for j < len(fs.Classes) && fs.Classes[j].Slot() == slot {
+			for j < len(todo) && fs.Classes[todo[j]].Slot() == slot {
 				j++
 			}
 			if pioneer.Cycles() < slot-1 {
@@ -119,14 +223,12 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 						pioneer.Cycles(), st, slot)
 				}
 			}
-			idxs := make([]int, 0, j-i)
-			for k := i; k < j; k++ {
-				idxs = append(idxs, k)
-			}
 			select {
+			case <-cfg.Interrupt:
+				return ErrInterrupted
 			case err := <-errCh:
 				return err
-			case groups <- slotGroup{snap: pioneer.Snapshot(), classes: idxs}:
+			case groups <- slotGroup{snap: pioneer.Snapshot(), classes: todo[i:j]}:
 			}
 			i = j
 		}
@@ -135,6 +237,8 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 	ferr := feed()
 	close(groups)
 	wg.Wait()
+	close(results)
+	<-collected
 	if ferr != nil {
 		return ferr
 	}
@@ -146,17 +250,20 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 	return nil
 }
 
-func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, out []Outcome) error {
+func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
 	work := make(chan int)
-	errCh := make(chan error, cfg.Workers)
+	results := make(chan record, cfg.Workers*2)
+	errCh := make(chan error, 1)
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		worker, err := t.newMachine()
 		if err != nil {
 			close(work)
+			close(results)
 			return err
 		}
 		reset := worker.Snapshot()
@@ -164,20 +271,33 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 		go func() {
 			defer wg.Done()
 			for ci := range work {
+				select {
+				case <-cfg.Interrupt:
+					scanFail(&stop, errCh, ErrInterrupted)
+				default:
+				}
+				if stop.Load() {
+					continue
+				}
 				worker.Restore(reset)
 				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, flip)
 				if err != nil {
-					errCh <- err
-					return
+					scanFail(&stop, errCh, err)
+					continue
 				}
-				out[ci] = o
+				results <- record{class: ci, outcome: o}
 			}
 		}()
 	}
+	collected := collector(results, out, m)
+
 	var ferr error
 feed:
-	for ci := range fs.Classes {
+	for _, ci := range todo {
 		select {
+		case <-cfg.Interrupt:
+			ferr = ErrInterrupted
+			break feed
 		case ferr = <-errCh:
 			break feed
 		case work <- ci:
@@ -185,6 +305,8 @@ feed:
 	}
 	close(work)
 	wg.Wait()
+	close(results)
+	<-collected
 	if ferr != nil {
 		return ferr
 	}

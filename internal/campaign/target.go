@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"faultspace/internal/isa"
 	"faultspace/internal/machine"
@@ -47,12 +48,29 @@ type Config struct {
 	Workers int
 	// Strategy selects the execution strategy. 0 means StrategySnapshot.
 	Strategy Strategy
+
+	// OnResult, when non-nil, receives every completed experiment in
+	// completion order. It is invoked from a single collector goroutine,
+	// so implementations (e.g. a checkpoint writer) need no locking.
+	OnResult func(class int, o Outcome)
+	// OnProgress, when non-nil, receives progress events: one initial,
+	// throttled intermediate ones, one final. Same goroutine as OnResult.
+	OnProgress func(Progress)
+	// ProgressInterval throttles intermediate progress events. 0 means
+	// DefaultProgressInterval; a negative value emits one event per
+	// completed experiment (useful in tests).
+	ProgressInterval time.Duration
+	// Interrupt, when non-nil, stops the scan as soon as it is closed:
+	// no new experiments start, in-flight ones finish and are recorded,
+	// and the scan returns ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // Defaults for Config.
 const (
-	DefaultTimeoutFactor = 4.0
-	DefaultTimeoutSlack  = 256
+	DefaultTimeoutFactor    = 4.0
+	DefaultTimeoutSlack     = 256
+	DefaultProgressInterval = time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -67,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Strategy == 0 {
 		c.Strategy = StrategySnapshot
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = DefaultProgressInterval
 	}
 	return c
 }

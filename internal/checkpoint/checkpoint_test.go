@@ -1,0 +1,320 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testHeader() Header {
+	h := Header{Version: Version, Classes: 1000}
+	for i := range h.Identity {
+		h.Identity[i] = byte(i * 7)
+	}
+	return h
+}
+
+func writeRecords(t *testing.T, w *Writer, entries []Entry) {
+	t.Helper()
+	for _, e := range entries {
+		if err := w.Append(e.Class, e.Outcome); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	h := testHeader()
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{0, 2}, {7, 0}, {999, 5}, {42, 3}}
+	writeRecords(t, w, want)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotH, got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Errorf("header mismatch: %+v != %+v", gotH, h)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(want))
+	}
+	for _, e := range want {
+		if got[e.Class] != e.Outcome {
+			t.Errorf("class %d: outcome %d, want %d", e.Class, got[e.Class], e.Outcome)
+		}
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Create(path, testHeader()); err == nil {
+		t.Fatal("Create must refuse to overwrite an existing checkpoint")
+	}
+}
+
+func TestOpenCreatesMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	w, prior, err := Open(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Errorf("fresh checkpoint has %d prior records", len(prior))
+	}
+	writeRecords(t, w, []Entry{{1, 1}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, prior, err = Open(path, testHeader()); err != nil || len(prior) != 1 {
+		t.Fatalf("reopen: prior=%v err=%v", prior, err)
+	}
+}
+
+func TestOpenAppendsAcrossSessions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	h := testHeader()
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, []Entry{{1, 1}, {2, 2}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, prior, err := Open(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 2 {
+		t.Fatalf("prior = %v, want 2 records", prior)
+	}
+	writeRecords(t, w, []Entry{{3, 3}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, all, err := Load(path)
+	if err != nil || len(all) != 3 || all[3] != 3 {
+		t.Fatalf("final load: %v err=%v", all, err)
+	}
+}
+
+// TestTornTailRecovery simulates a crash mid-write: the file is cut at
+// every possible byte boundary inside the last frame, and Open must
+// salvage exactly the records of the preceding intact frames, then keep
+// appending from there.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	h := testHeader()
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, []Entry{{1, 1}, {2, 2}})
+	if err := w.Sync(); err != nil { // frame 1: classes 1, 2
+		t.Fatal(err)
+	}
+	writeRecords(t, w, []Entry{{3, 3}, {4, 4}})
+	if err := w.Close(); err != nil { // frame 2: classes 3, 4
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, frame1End, err := decodeAll(full[:len(full)-1])
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut file: err = %v, want ErrTruncated", err)
+	}
+
+	for cut := int(frame1End) + 1; cut < len(full); cut++ {
+		torn := filepath.Join(dir, "torn.ckpt")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, prior, err := Open(torn, h)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(prior) != 2 || prior[1] != 1 || prior[2] != 2 {
+			t.Fatalf("cut at %d: salvaged %v, want classes 1, 2", cut, prior)
+		}
+		// Appending after recovery must yield a fully-valid file again.
+		writeRecords(t, w, []Entry{{5, 5}})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, all, err := Load(torn); err != nil || len(all) != 3 || all[5] != 5 {
+			t.Fatalf("cut at %d: post-recovery load: %v err=%v", cut, all, err)
+		}
+		os.Remove(torn)
+	}
+}
+
+func TestCorruptFrameRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	h := testHeader()
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, []Entry{{1, 1}})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w, []Entry{{2, 2}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// Flip a byte in the last frame's payload: its CRC no longer matches.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode of corrupt frame: %v, want ErrCorrupt", err)
+	}
+	w, prior, err := Open(path, h)
+	if err != nil {
+		t.Fatalf("Open must recover the valid prefix: %v", err)
+	}
+	defer w.Close()
+	if len(prior) != 1 || prior[1] != 1 {
+		t.Fatalf("salvaged %v, want class 1 only", prior)
+	}
+}
+
+func TestHeaderMismatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	h := testHeader()
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	other := h
+	other.Identity[0] ^= 1
+	if _, _, err := Open(path, other); !errors.Is(err, ErrIdentityMismatch) {
+		t.Errorf("identity mismatch: %v", err)
+	}
+	other = h
+	other.Classes++
+	if _, _, err := Open(path, other); !errors.Is(err, ErrIdentityMismatch) {
+		t.Errorf("class-count mismatch: %v", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	// Patch the version field (payload offset 0 of the header frame) and
+	// re-CRC the header payload so only the version is "wrong".
+	payload := data[len(magic)+frameHdrLen:]
+	payload[0] = 99
+	fixed := appendFrame(append([]byte{}, magic...), kindHeader, payload)
+	if _, _, err := Decode(fixed); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 99: %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":                 {},
+		"bad magic":             []byte("NOTACKPT file"),
+		"magic only, no header": []byte(magic),
+	}
+	for name, data := range cases {
+		if _, _, err := Decode(data); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestDecodeRejectsOutOfRangeClass(t *testing.T) {
+	h := testHeader()
+	h.Classes = 3
+	var payload []byte
+	payload = append(payload, 0x05, 0x01) // class 5 >= 3 classes
+	file := makeFile(h, payload)
+	if _, _, err := Decode(file); !errors.Is(err, ErrFormat) {
+		t.Fatalf("out-of-range class: %v, want ErrFormat", err)
+	}
+}
+
+// makeFile hand-assembles a checkpoint image from a header and one raw
+// records payload.
+func makeFile(h Header, records []byte) []byte {
+	hp := make([]byte, headerLen)
+	hp[0] = byte(h.Version)
+	copy(hp[4:36], h.Identity[:])
+	hp[36] = byte(h.Classes)
+	file := append([]byte{}, magic...)
+	file = appendFrame(file, kindHeader, hp)
+	return appendFrame(file, kindRecords, records)
+}
+
+func TestStickyWriterError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // sabotage the descriptor: the next flush must fail
+	w.buf = append(w.buf, 1, 1)
+	w.pending = 1
+	if err := w.Sync(); err == nil {
+		t.Fatal("flush on closed file must fail")
+	}
+	if err := w.Append(2, 2); err == nil {
+		t.Fatal("append after failed flush must report the sticky error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("close must report the sticky error")
+	}
+}
+
+func TestLargeCampaignManyFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	h := Header{Version: Version, Classes: 100000}
+	w, err := Create(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.FlushEvery = 64
+	for i := 0; i < 10000; i++ {
+		if err := w.Append(i*7%100000, uint8(i%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 9000 {
+		t.Fatalf("loaded %d distinct records", len(got))
+	}
+}
