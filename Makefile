@@ -17,10 +17,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# A short deterministic-corpus + 10s randomized smoke of the checkpoint
-# decoder: corrupted checkpoint files must error, never panic.
+# A short deterministic-corpus + 10s randomized smoke of the two binary
+# decoders exposed to untrusted bytes: corrupted checkpoint files and
+# mutated cluster wire frames must error, never panic.
 fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
+	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
 
 bench:
 	$(GO) test -bench=. -benchmem

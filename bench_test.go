@@ -7,6 +7,8 @@
 package faultspace_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"faultspace"
@@ -300,6 +302,48 @@ func BenchmarkAblationGranularity(b *testing.B) {
 	_ = fs
 	b.ReportMetric(float64(perBit), "classes-per-bit")
 	b.ReportMetric(float64(perByte), "classes-per-byte")
+}
+
+// BenchmarkClusterScan measures a distributed full scan over loopback
+// HTTP with 1, 2 and 4 workers against the same campaign, exposing the
+// coordination overhead and the scaling of leased work units (DESIGN.md
+// §4b). Compare with BenchmarkAblationParallelScan for the in-process
+// parallelism baseline.
+func BenchmarkClusterScan(b *testing.B) {
+	p, err := progs.BinSem2(benchSizes.BinSemRounds).Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				addrCh := make(chan string, 1)
+				var wg sync.WaitGroup
+				wg.Add(workers)
+				go func() {
+					addr := <-addrCh
+					for j := 0; j < workers; j++ {
+						go func(j int) {
+							defer wg.Done()
+							if err := faultspace.JoinScan(addr, faultspace.JoinOptions{
+								WorkerID: fmt.Sprintf("w%d", j),
+							}); err != nil {
+								b.Error(err)
+							}
+						}(j)
+					}
+				}()
+				_, err := faultspace.ServeScan(p, "127.0.0.1:0", faultspace.ServeOptions{
+					UnitSize: 16,
+					OnListen: func(addr string) { addrCh <- addr },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+			}
+		})
+	}
 }
 
 // --- Component performance benchmarks ---

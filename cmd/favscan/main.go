@@ -14,6 +14,13 @@
 //	favscan -sample 10000 -seed 3 sync2        # correct raw sampling
 //	favscan -sample 10000 -biased sync2        # Pitfall-2 sampling
 //	favscan -csv -outcomes sync2               # per-class outcome dump
+//
+// Distributed campaigns shard a full scan across machines: a coordinator
+// serves leased work units, workers pull and execute them, and the final
+// report is byte-identical to a local scan (placement equivalence):
+//
+//	favscan -serve :9321 -checkpoint s2.ckpt sync2   # coordinator
+//	favscan -join host:9321                          # worker (any machine)
 package main
 
 import (
@@ -53,8 +60,14 @@ func run(args []string, w, errW io.Writer) error {
 		biased   = fs.Bool("biased", false, "sample classes uniformly (Pitfall 2) instead of raw coordinates")
 		effect   = fs.Bool("effective", false, "sample the reduced population w' (Corollary 1)")
 		rerun    = fs.Bool("rerun", false, "use the rerun-from-start strategy instead of snapshot forking")
+		strategy = fs.String("strategy", "", "experiment strategy: snapshot or rerun (default snapshot)")
 		space    = fs.String("space", "memory", "fault space: memory or registers (§VI-B)")
 		workers  = fs.Int("workers", 0, "parallel experiment executors (0 = GOMAXPROCS)")
+		serve    = fs.String("serve", "", "coordinate a distributed scan: serve work units on this address")
+		join     = fs.String("join", "", "join a distributed scan as a worker of the coordinator at this address")
+		workerID = fs.String("worker-id", "", "worker name in cluster statistics (default w<pid>)")
+		unitSize = fs.Int("unit-size", 0, "classes per leased work unit (coordinator; default 256)")
+		leaseTTL = fs.Duration("lease", 0, "work-unit lease TTL before reassignment (coordinator; default 10s)")
 		outcomes = fs.Bool("outcomes", false, "dump per-class outcomes (full scans only)")
 		saveTo   = fs.String("save", "", "write the full-scan result as a JSON archive to this file")
 		loadFrom = fs.String("load", "", "analyze a previously saved scan archive instead of scanning")
@@ -75,11 +88,47 @@ func run(args []string, w, errW io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate enumerated flag values up front so a typo fails fast with
+	// the valid options, not deep inside a campaign.
+	spaceKind, err := parseSpace(*space)
+	if err != nil {
+		return err
+	}
+	useRerun, err := parseStrategy(*strategy, *rerun)
+	if err != nil {
+		return err
+	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
 	if *ckpt != "" && (*sample > 0 || *loadFrom != "") {
 		return fmt.Errorf("-checkpoint applies to full scans only (not -sample or -load)")
+	}
+	if *serve != "" && *join != "" {
+		return fmt.Errorf("-serve and -join are mutually exclusive")
+	}
+	if *serve != "" && (*sample > 0 || *loadFrom != "") {
+		return fmt.Errorf("-serve applies to full scans only (not -sample or -load)")
+	}
+
+	if *join != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-join takes no benchmark argument: the campaign comes from the coordinator's handshake")
+		}
+		if *sample > 0 || *loadFrom != "" || *saveTo != "" || *ckpt != "" || *outcomes {
+			return fmt.Errorf("-join is a pure worker: it accepts no campaign, archive or checkpoint flags")
+		}
+		jopts := faultspace.JoinOptions{
+			WorkerID: *workerID,
+			Workers:  *workers,
+			Rerun:    useRerun,
+		}
+		if *progress {
+			jopts.Logf = func(format string, args ...any) {
+				fmt.Fprintf(errW, format+"\n", args...)
+			}
+		}
+		return faultspace.JoinScan(*join, jopts)
 	}
 
 	if *loadFrom != "" {
@@ -127,17 +176,9 @@ func run(args []string, w, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := faultspace.ScanOptions{Workers: *workers, Rerun: *rerun}
+	opts := faultspace.ScanOptions{Workers: *workers, Rerun: useRerun, Space: spaceKind}
 	if *progress {
 		opts.OnProgress = progressPrinter(errW)
-	}
-	switch *space {
-	case "memory", "mem", "":
-		opts.Space = faultspace.SpaceMemory
-	case "registers", "regs":
-		opts.Space = faultspace.SpaceRegisters
-	default:
-		return fmt.Errorf("unknown fault space %q (memory, registers)", *space)
 	}
 
 	if *sample > 0 {
@@ -154,7 +195,7 @@ func run(args []string, w, errW io.Writer) error {
 		return printSample(w, prog.Name, sr, *csv)
 	}
 
-	if *ckpt != "" {
+	if *ckpt != "" || *serve != "" {
 		opts.Checkpoint = *ckpt
 		opts.Resume = *resume
 		// Graceful SIGINT: stop feeding experiments, let in-flight ones
@@ -175,9 +216,30 @@ func run(args []string, w, errW io.Writer) error {
 		}()
 		opts.Interrupt = intCh
 	}
-	scan, err := faultspace.Scan(prog, opts)
+
+	var scan *faultspace.ScanResult
+	if *serve != "" {
+		sopts := faultspace.ServeOptions{
+			ScanOptions: opts,
+			UnitSize:    *unitSize,
+			LeaseTTL:    *leaseTTL,
+			OnListen: func(addr string) {
+				fmt.Fprintf(errW, "favscan: serving campaign on %s\n", addr)
+			},
+		}
+		if *progress {
+			sopts.OnProgress = nil
+			sopts.OnClusterProgress = clusterProgressPrinter(errW)
+		}
+		scan, err = faultspace.ServeScan(prog, *serve, sopts)
+	} else {
+		scan, err = faultspace.Scan(prog, opts)
+	}
 	if err != nil {
 		if errors.Is(err, faultspace.ErrInterrupted) {
+			if *ckpt == "" {
+				return fmt.Errorf("scan interrupted")
+			}
 			return fmt.Errorf("scan interrupted; progress saved to %s — rerun with -resume to continue", *ckpt)
 		}
 		return err
@@ -207,6 +269,59 @@ func run(args []string, w, errW io.Writer) error {
 		return printOutcomes(w, scan, *csv)
 	}
 	return nil
+}
+
+// parseSpace validates the -space flag value, failing fast with the
+// valid options on a typo.
+func parseSpace(s string) (faultspace.SpaceKind, error) {
+	switch s {
+	case "memory", "mem", "":
+		return faultspace.SpaceMemory, nil
+	case "registers", "regs":
+		return faultspace.SpaceRegisters, nil
+	default:
+		return 0, fmt.Errorf("unknown fault space %q (valid: memory, registers)", s)
+	}
+}
+
+// parseStrategy validates the -strategy flag value and reconciles it
+// with the legacy -rerun boolean.
+func parseStrategy(s string, rerun bool) (useRerun bool, err error) {
+	switch s {
+	case "":
+		return rerun, nil
+	case "snapshot":
+		if rerun {
+			return false, fmt.Errorf("-strategy snapshot contradicts -rerun")
+		}
+		return false, nil
+	case "rerun":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown strategy %q (valid: snapshot, rerun)", s)
+	}
+}
+
+// clusterProgressPrinter renders the coordinator's cluster progress
+// stream on errW: one summary line per event plus one line per worker.
+func clusterProgressPrinter(errW io.Writer) func(faultspace.ClusterProgress) {
+	return func(p faultspace.ClusterProgress) {
+		pct := 100.0
+		if p.Total > 0 {
+			pct = 100 * float64(p.Done) / float64(p.Total)
+		}
+		if p.Final {
+			fmt.Fprintf(errW, "cluster scan finished: %d/%d classes (%.1f%%), %d merged this session in %s (%.0f exp/s), %d workers, %d reassigned, %d failure classes\n",
+				p.Done, p.Total, pct, p.Session, p.Elapsed.Round(time.Millisecond), p.Rate, len(p.Workers), p.Reassignments, p.Failures())
+			return
+		}
+		fmt.Fprintf(errW, "cluster: %d/%d classes (%.1f%%)  %.0f exp/s  ETA %s  leases %d  reassigned %d  failures %d\n",
+			p.Done, p.Total, pct, p.Rate, p.ETA.Round(time.Second), p.OutstandingLeases, p.Reassignments, p.Failures())
+		for _, ws := range p.Workers {
+			fmt.Fprintf(errW, "  worker %s: %d experiments (%.0f exp/s), %d merged, %d leases\n",
+				ws.ID, ws.Experiments, ws.Rate, ws.Merged, ws.Outstanding)
+		}
+	}
 }
 
 // progressPrinter renders the scan's progress stream as single lines on

@@ -8,9 +8,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"faultspace"
 	"faultspace/internal/checkpoint"
 )
 
@@ -227,6 +229,211 @@ func TestKillAndResumeByteIdentical(t *testing.T) {
 	reference := runScan(t, campaign...)
 	if resumed != reference {
 		t.Errorf("resumed report differs from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s",
+			resumed, reference)
+	}
+}
+
+// TestFlagValidationUpfront: enumerated and mutually-exclusive flags must
+// fail before any campaign work starts, with errors that name the valid
+// options.
+func TestFlagValidationUpfront(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-space", "cache", "hi"}, "valid: memory, registers"},
+		{[]string{"-strategy", "quantum", "hi"}, "valid: snapshot, rerun"},
+		{[]string{"-strategy", "snapshot", "-rerun", "hi"}, "contradicts"},
+		{[]string{"-serve", ":0", "-join", "x:1", "hi"}, "mutually exclusive"},
+		{[]string{"-serve", ":0", "-sample", "10", "hi"}, "full scans only"},
+		{[]string{"-join", "x:1", "hi"}, "no benchmark argument"},
+		{[]string{"-join", "x:1", "-checkpoint", "c.ckpt"}, "pure worker"},
+	} {
+		err := run(tc.args, io.Discard, io.Discard)
+		if err == nil {
+			t.Errorf("run(%v): expected an error mentioning %q", tc.args, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+	// Strategy flag accepts its valid values.
+	a := runScan(t, "-strategy", "snapshot", "hi")
+	b := runScan(t, "-strategy", "rerun", "hi")
+	if a != b {
+		t.Error("-strategy must not change scan results")
+	}
+}
+
+// addrWatcher tees a coordinator's stderr, announcing the "serving
+// campaign on <addr>" listen address on a channel as soon as it appears.
+// Safe for concurrent writes (exec.Cmd copies pipes from a goroutine).
+type addrWatcher struct {
+	mu   sync.Mutex
+	buf  strings.Builder
+	ch   chan string
+	sent bool
+}
+
+func newAddrWatcher() *addrWatcher { return &addrWatcher{ch: make(chan string, 1)} }
+
+func (w *addrWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		const marker = "serving campaign on "
+		s := w.buf.String()
+		if i := strings.Index(s, marker); i >= 0 {
+			if j := strings.IndexByte(s[i:], '\n'); j >= 0 {
+				w.ch <- strings.TrimSpace(s[i+len(marker) : i+j])
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *addrWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func (w *addrWatcher) awaitAddr(t *testing.T) string {
+	t.Helper()
+	select {
+	case addr := <-w.ch:
+		return addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator never announced its address; stderr:\n%s", w.String())
+		return ""
+	}
+}
+
+// serveWithWorkers runs `favscan -serve` in-process with nWorkers
+// in-process `-join` workers over loopback and returns the coordinator's
+// stdout report.
+func serveWithWorkers(t *testing.T, serveArgs []string, nWorkers int) string {
+	t.Helper()
+	aw := newAddrWatcher()
+	var out strings.Builder
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- run(append([]string{"-serve", "127.0.0.1:0"}, serveArgs...), &out, aw)
+	}()
+	addr := aw.awaitAddr(t)
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := []string{"-join", addr, "-worker-id", fmt.Sprintf("w%d", i)}
+			if i%2 == 1 {
+				args = append(args, "-strategy", "rerun")
+			}
+			if err := run(args, io.Discard, io.Discard); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	wg.Wait()
+	return out.String()
+}
+
+// TestClusterServeJoinByteIdentical: a favscan coordinator with two
+// favscan workers over loopback must print the exact report of a local
+// run — placement equivalence, end to end through the CLI.
+func TestClusterServeJoinByteIdentical(t *testing.T) {
+	campaignArgs := []string{"-sort-elements", "8", "sort1"}
+	reference := runScan(t, campaignArgs...)
+	distributed := serveWithWorkers(t, append([]string{"-unit-size", "8"}, campaignArgs...), 2)
+	if distributed != reference {
+		t.Errorf("distributed report differs from local run:\n--- distributed ---\n%s--- local ---\n%s",
+			distributed, reference)
+	}
+}
+
+// TestClusterKillCoordinatorAndResume is the distributed acceptance test:
+// a real favscan coordinator child process is SIGINT-killed mid-campaign
+// while an in-process worker executes its units, then a fresh coordinator
+// resumes from the checkpoint and the final report must be byte-identical
+// to an uninterrupted local run.
+func TestClusterKillCoordinatorAndResume(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("relies on SIGINT delivery")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(t.TempDir(), "cluster.ckpt")
+	campaignArgs := []string{"-sort-elements", "48", "sort1"}
+
+	aw := newAddrWatcher()
+	child := exec.Command(exe, append([]string{
+		"-serve", "127.0.0.1:0", "-checkpoint", ck, "-progress", "-unit-size", "4",
+	}, campaignArgs...)...)
+	child.Env = append(os.Environ(), "FAVSCAN_CHILD=1")
+	child.Stdout = io.Discard
+	child.Stderr = aw
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := aw.awaitAddr(t)
+
+	// A deliberately slow worker (single executor, rerun strategy) keeps
+	// the campaign running long enough for the SIGINT to land mid-scan. It
+	// outlives the coordinator, so any clean shutdown path is acceptable.
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		_ = faultspace.JoinScan(addr, faultspace.JoinOptions{
+			WorkerID: "phase1", Workers: 1, Rerun: true,
+		})
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(ck); err == nil && fi.Size() > 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			child.Process.Kill()
+			t.Fatalf("checkpoint never grew past its header; child stderr:\n%s", aw.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := child.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Wait(); err == nil {
+		t.Fatalf("child completed before the interrupt landed; stderr:\n%s", aw.String())
+	}
+	select {
+	case <-workerDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("phase-1 worker never exited after the coordinator died")
+	}
+
+	h, prior, err := checkpoint.Load(ck)
+	if err != nil {
+		t.Fatalf("checkpoint after SIGINT must be valid: %v", err)
+	}
+	if len(prior) == 0 || uint64(len(prior)) >= h.Classes {
+		t.Fatalf("checkpoint holds %d/%d classes, want a proper partial campaign", len(prior), h.Classes)
+	}
+	t.Logf("coordinator interrupted after %d/%d classes", len(prior), h.Classes)
+
+	resumed := serveWithWorkers(t,
+		append([]string{"-checkpoint", ck, "-resume", "-unit-size", "4"}, campaignArgs...), 2)
+	reference := runScan(t, campaignArgs...)
+	if resumed != reference {
+		t.Errorf("resumed distributed report differs from uninterrupted local run:\n--- resumed ---\n%s--- reference ---\n%s",
 			resumed, reference)
 	}
 }

@@ -147,6 +147,15 @@ func decodeAll(data []byte) (h Header, entries []Entry, goodLen int64, err error
 	return h, entries, goodLen, nil
 }
 
+// ReadFrame parses one CRC-guarded frame at off and returns the frame
+// kind, its payload (CRC-verified) and the offset of the next frame. It
+// is the decoding half of the framing shared with the cluster wire
+// protocol (internal/cluster): a frame is kind(1) length(u32) crc32(u32)
+// payload. Damage yields ErrTruncated (cut) or ErrCorrupt (CRC/framing).
+func ReadFrame(data []byte, off int) (kind byte, payload []byte, next int, err error) {
+	return frame(data, off)
+}
+
 // frame parses one frame at off. It returns the frame kind, its payload
 // (CRC-verified), and the offset of the next frame.
 func frame(data []byte, off int) (kind byte, payload []byte, next int, err error) {
@@ -351,6 +360,12 @@ func (w *Writer) Close() error {
 		return w.err
 	}
 	return nil
+}
+
+// AppendFrame appends one CRC-guarded frame (kind, length, CRC32,
+// payload) to dst — the encoding half of ReadFrame.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	return appendFrame(dst, kind, payload)
 }
 
 // appendFrame appends one frame (kind, length, CRC, payload) to dst.

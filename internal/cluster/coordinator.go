@@ -1,0 +1,646 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"faultspace/internal/campaign"
+	"faultspace/internal/isa"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// Options parameterizes a Coordinator.
+type Options struct {
+	// UnitSize is the number of equivalence classes per work unit
+	// (default DefaultUnitSize). Units are contiguous class-index ranges,
+	// so a snapshot-strategy worker replays each golden prefix once.
+	UnitSize int
+	// LeaseTTL is how long a leased unit may go without a heartbeat or
+	// submission before it is reassigned (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// MaxGoldenCycles is shipped to workers so their golden replay bound
+	// matches the coordinator's.
+	MaxGoldenCycles uint64
+	// OnResult receives every freshly merged outcome — the checkpoint
+	// writer hook. Calls are serialized under the coordinator lock, so a
+	// checkpoint.Writer needs no extra locking.
+	OnResult func(class int, o campaign.Outcome)
+	// OnProgress receives cluster progress events: one initial, throttled
+	// intermediate ones, one final.
+	OnProgress func(Progress)
+	// ProgressInterval throttles intermediate progress events (default
+	// 1s; negative = one event per submission).
+	ProgressInterval time.Duration
+	// Interrupt, when closed, stops the campaign: leases stop being
+	// granted, Wait returns the partial result with ErrInterrupted.
+	Interrupt <-chan struct{}
+}
+
+// Defaults for Options.
+const (
+	DefaultUnitSize = 256
+	DefaultLeaseTTL = 10 * time.Second
+)
+
+func (o Options) withDefaults() Options {
+	if o.UnitSize == 0 {
+		o.UnitSize = DefaultUnitSize
+	}
+	if o.LeaseTTL == 0 {
+		o.LeaseTTL = DefaultLeaseTTL
+	}
+	if o.ProgressInterval == 0 {
+		o.ProgressInterval = time.Second
+	}
+	return o
+}
+
+// WorkerStat is one worker's slice of a cluster Progress event.
+type WorkerStat struct {
+	ID string
+	// Experiments counts entries this worker submitted, including
+	// re-executions of reassigned units — the work it actually performed.
+	Experiments int
+	// Merged counts the outcomes this worker contributed first.
+	Merged int
+	// Rate is Experiments per second since the worker joined.
+	Rate float64
+	// Outstanding is the number of units the worker currently holds.
+	Outstanding int
+}
+
+// Progress is one event of a distributed campaign's progress stream: the
+// regular campaign progress plus cluster-level statistics.
+type Progress struct {
+	campaign.Progress
+	// OutstandingLeases is the number of currently leased units.
+	OutstandingLeases int
+	// Reassignments counts units whose lease expired and were handed to
+	// another worker.
+	Reassignments int
+	// Workers holds per-worker statistics, sorted by ID.
+	Workers []WorkerStat
+}
+
+type unitState uint8
+
+const (
+	unitPending unitState = iota
+	unitLeased
+	unitDone
+)
+
+type unit struct {
+	id       uint64
+	classes  []int
+	state    unitState
+	token    uint64
+	owner    string
+	deadline time.Time
+}
+
+type workerInfo struct {
+	id          string
+	experiments int
+	merged      int
+	outstanding int
+	joined      time.Time
+	left        bool
+}
+
+// Coordinator shards a campaign into leased work units and merges the
+// outcomes workers stream back. It is an http.Handler; all state is
+// guarded by one mutex, which also serializes the OnResult checkpoint
+// hook.
+type Coordinator struct {
+	target   campaign.Target
+	golden   *trace.Golden
+	space    *pruning.FaultSpace
+	identity [32]byte
+	spec     []byte // encoded handshake frame
+	opts     Options
+
+	mu          sync.Mutex
+	units       []*unit
+	pending     []*unit // LIFO of grantable units
+	leased      int
+	outcomes    []campaign.Outcome
+	have        []bool
+	counts      [campaign.NumOutcomes]uint64
+	remaining   int
+	session     int
+	start       time.Time
+	lastEmit    time.Time
+	reassigned  int
+	workers     map[string]*workerInfo
+	nextToken   uint64
+	interrupted bool
+	sealed      bool
+	finished    chan struct{}
+}
+
+// NewCoordinator builds a coordinator for the campaign. prior holds
+// checkpoint-restored outcomes by class index; only the remaining classes
+// are sharded into work units, so a resumed distributed campaign redoes
+// no work. cfg supplies the outcome-relevant campaign parameters (the
+// timeout budget) that are hashed into the identity and shipped to
+// workers.
+func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg campaign.Config, opts Options, prior map[int]campaign.Outcome) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if opts.MaxGoldenCycles == 0 {
+		return nil, fmt.Errorf("cluster: MaxGoldenCycles must be set")
+	}
+	id, err := t.CampaignIdentity(fs.Kind, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: identity: %w", err)
+	}
+	code, err := isa.EncodeProgram(t.Code)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode program: %w", err)
+	}
+	factor, slack := cfg.EffectiveTimeout()
+	c := &Coordinator{
+		target:   t,
+		golden:   golden,
+		space:    fs,
+		identity: id,
+		opts:     opts,
+		outcomes: make([]campaign.Outcome, len(fs.Classes)),
+		have:     make([]bool, len(fs.Classes)),
+		workers:  make(map[string]*workerInfo),
+		start:    time.Now(),
+		finished: make(chan struct{}),
+	}
+	c.spec = EncodeSpec(Spec{
+		Proto:           ProtoVersion,
+		Identity:        id,
+		Name:            t.Name,
+		Code:            code,
+		Image:           t.Image,
+		RAMSize:         uint64(t.Mach.RAMSize),
+		MaxSerial:       uint64(t.Mach.MaxSerial),
+		TimerPeriod:     t.Mach.TimerPeriod,
+		TimerVector:     uint32(t.Mach.TimerVector),
+		SpaceKind:       uint8(fs.Kind),
+		TimeoutFactor:   factor,
+		TimeoutSlack:    slack,
+		MaxGoldenCycles: opts.MaxGoldenCycles,
+		Classes:         uint64(len(fs.Classes)),
+		LeaseTTL:        opts.LeaseTTL,
+	})
+
+	for ci, o := range prior {
+		if ci < 0 || ci >= len(fs.Classes) {
+			return nil, fmt.Errorf("cluster: prior class index %d outside [0, %d)", ci, len(fs.Classes))
+		}
+		if int(o) >= campaign.NumOutcomes {
+			return nil, fmt.Errorf("cluster: prior class %d has unknown outcome %d", ci, o)
+		}
+		c.outcomes[ci] = o
+		c.have[ci] = true
+		c.counts[o]++
+	}
+	c.remaining = len(fs.Classes) - len(prior)
+
+	var todo []int
+	for i := range fs.Classes {
+		if !c.have[i] {
+			todo = append(todo, i)
+		}
+	}
+	for len(todo) > 0 {
+		n := opts.UnitSize
+		if n > len(todo) {
+			n = len(todo)
+		}
+		u := &unit{id: uint64(len(c.units)), classes: todo[:n]}
+		c.units = append(c.units, u)
+		todo = todo[n:]
+	}
+	// Grant units in class order: pending is popped from the tail.
+	for i := len(c.units) - 1; i >= 0; i-- {
+		c.pending = append(c.pending, c.units[i])
+	}
+	if c.remaining == 0 {
+		close(c.finished)
+	}
+	c.mu.Lock()
+	c.emitLocked(false)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Identity returns the campaign identity hash the coordinator admits.
+func (c *Coordinator) Identity() [32]byte { return c.identity }
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/handshake", c.handleHandshake)
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/submit", c.handleSubmit)
+	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/leave", c.handleLeave)
+	mux.HandleFunc("/v1/status", c.handleStatus)
+	return mux
+}
+
+// Wait blocks until every class has an outcome (returning the complete
+// result) or Options.Interrupt is closed (returning the partial result
+// with campaign.ErrInterrupted). Late in-flight submissions keep merging
+// — and reaching OnResult — until Seal is called.
+func (c *Coordinator) Wait() (*campaign.Result, error) {
+	var interrupt <-chan struct{} = c.opts.Interrupt
+	select {
+	case <-c.finished:
+		c.mu.Lock()
+		c.emitLocked(true)
+		res := c.resultLocked()
+		c.mu.Unlock()
+		return res, nil
+	case <-interrupt:
+		c.mu.Lock()
+		c.interrupted = true
+		c.emitLocked(true)
+		res := c.resultLocked()
+		c.mu.Unlock()
+		return res, campaign.ErrInterrupted
+	}
+}
+
+// Seal stops result merging: subsequent submissions are rejected with
+// 503 and OnResult will not be invoked again. Call it after the HTTP
+// server has shut down (or before closing a checkpoint writer) so no
+// handler can race a closed writer.
+func (c *Coordinator) Seal() {
+	c.mu.Lock()
+	c.sealed = true
+	c.mu.Unlock()
+}
+
+// Drained reports whether every worker that ever joined has left again.
+func (c *Coordinator) Drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if !w.left {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the current progress (also served at /v1/status).
+func (c *Coordinator) Snapshot() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progressLocked(false)
+}
+
+func (c *Coordinator) resultLocked() *campaign.Result {
+	return &campaign.Result{
+		Target:   c.target,
+		Golden:   c.golden,
+		Space:    c.space,
+		Outcomes: append([]campaign.Outcome(nil), c.outcomes...),
+		Identity: c.identity,
+	}
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+// maxBody bounds request bodies; submissions are the largest legitimate
+// message (a few bytes per class).
+const maxBody = 16 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "cluster: POST required", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, "cluster: read: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > maxBody {
+		http.Error(w, "cluster: request too large", http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+// admit enforces the campaign identity admission check shared by every
+// post-handshake endpoint.
+func (c *Coordinator) admit(w http.ResponseWriter, id [32]byte) bool {
+	if id != c.identity {
+		http.Error(w, "cluster: campaign identity mismatch (different program image, fault-space kind or timeout budget)",
+			http.StatusConflict)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleHandshake(w http.ResponseWriter, r *http.Request) {
+	if _, ok := readBody(w, r); !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(c.spec)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	q, err := DecodeLeaseRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.admit(w, q.Identity) {
+		return
+	}
+
+	c.mu.Lock()
+	c.touchLocked(q.WorkerID)
+	resp := WorkUnit{Status: UnitWait}
+	switch {
+	case c.interrupted || c.sealed:
+		resp.Status = UnitShutdown
+	case c.remaining == 0:
+		resp.Status = UnitDone
+	default:
+		if len(c.pending) == 0 {
+			c.reclaimExpiredLocked()
+		}
+		if n := len(c.pending); n > 0 {
+			u := c.pending[n-1]
+			c.pending = c.pending[:n-1]
+			c.nextToken++
+			u.state = unitLeased
+			u.token = c.nextToken
+			u.owner = q.WorkerID
+			u.deadline = time.Now().Add(c.opts.LeaseTTL)
+			c.leased++
+			c.workers[q.WorkerID].outstanding++
+			resp = WorkUnit{Status: UnitGranted, ID: u.id, Token: u.token, Classes: u.classes}
+		}
+	}
+	c.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(EncodeWorkUnit(resp))
+}
+
+// reclaimExpiredLocked returns expired leases to the pending pool.
+func (c *Coordinator) reclaimExpiredLocked() {
+	now := time.Now()
+	for _, u := range c.units {
+		if u.state == unitLeased && now.After(u.deadline) {
+			u.state = unitPending
+			c.leased--
+			if wi := c.workers[u.owner]; wi != nil && wi.outstanding > 0 {
+				wi.outstanding--
+			}
+			u.owner = ""
+			c.pending = append(c.pending, u)
+			c.reassigned++
+		}
+	}
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	s, err := DecodeSubmission(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.admit(w, s.Identity) {
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		http.Error(w, "cluster: coordinator sealed", http.StatusServiceUnavailable)
+		return
+	}
+	if s.UnitID >= uint64(len(c.units)) {
+		http.Error(w, fmt.Sprintf("cluster: unknown unit %d", s.UnitID), http.StatusBadRequest)
+		return
+	}
+	u := c.units[s.UnitID]
+	member := make(map[int]bool, len(u.classes))
+	for _, ci := range u.classes {
+		member[ci] = true
+	}
+	for _, e := range s.Entries {
+		if !member[e.Class] {
+			http.Error(w, fmt.Sprintf("cluster: class %d not part of unit %d", e.Class, s.UnitID), http.StatusBadRequest)
+			return
+		}
+		if int(e.Outcome) >= campaign.NumOutcomes {
+			http.Error(w, fmt.Sprintf("cluster: unknown outcome %d", e.Outcome), http.StatusBadRequest)
+			return
+		}
+	}
+
+	wi := c.touchLocked(s.WorkerID)
+	wi.experiments += len(s.Entries)
+	// Idempotent merge: outcomes are deterministic, so the first record
+	// for a class is as good as any duplicate — including submissions
+	// under a stale lease token after a reassignment.
+	for _, e := range s.Entries {
+		if c.have[e.Class] {
+			continue
+		}
+		o := campaign.Outcome(e.Outcome)
+		c.have[e.Class] = true
+		c.outcomes[e.Class] = o
+		c.counts[o]++
+		c.remaining--
+		c.session++
+		wi.merged++
+		if c.opts.OnResult != nil {
+			c.opts.OnResult(e.Class, o)
+		}
+	}
+	if len(s.Entries) == len(u.classes) && u.state != unitDone {
+		if u.state == unitLeased {
+			c.leased--
+			if owner := c.workers[u.owner]; owner != nil && owner.outstanding > 0 {
+				owner.outstanding--
+			}
+		} else {
+			// The unit's lease had already expired and it went back to the
+			// pending pool; drop it from there so nobody re-runs it.
+			for i, p := range c.pending {
+				if p == u {
+					c.pending = append(c.pending[:i], c.pending[i+1:]...)
+					break
+				}
+			}
+		}
+		u.state = unitDone
+		u.owner = ""
+	}
+	if c.opts.OnProgress != nil &&
+		(c.opts.ProgressInterval < 0 || time.Since(c.lastEmit) >= c.opts.ProgressInterval) {
+		c.emitLocked(false)
+	}
+	if c.remaining == 0 {
+		select {
+		case <-c.finished:
+		default:
+			close(c.finished)
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	h, err := DecodeHeartbeat(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.admit(w, h.Identity) {
+		return
+	}
+	c.mu.Lock()
+	c.touchLocked(h.WorkerID)
+	for _, id := range h.Units {
+		if id < uint64(len(c.units)) {
+			u := c.units[id]
+			if u.state == unitLeased && u.owner == h.WorkerID {
+				u.deadline = time.Now().Add(c.opts.LeaseTTL)
+			}
+		}
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	q, err := DecodeLeaseRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !c.admit(w, q.Identity) {
+		return
+	}
+	c.mu.Lock()
+	if wi := c.workers[q.WorkerID]; wi != nil {
+		wi.left = true
+		// Return whatever the worker still holds without waiting for the
+		// lease to expire; a voluntary return is not a reassignment.
+		for _, u := range c.units {
+			if u.state == unitLeased && u.owner == q.WorkerID {
+				u.state = unitPending
+				u.owner = ""
+				c.leased--
+				c.pending = append(c.pending, u)
+			}
+		}
+		wi.outstanding = 0
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	p := c.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Name          string  `json:"name"`
+		Space         string  `json:"space"`
+		Done          int     `json:"done"`
+		Total         int     `json:"total"`
+		Failures      uint64  `json:"failures"`
+		Rate          float64 `json:"expPerSec"`
+		Leases        int     `json:"outstandingLeases"`
+		Reassignments int     `json:"reassignments"`
+		Workers       []WorkerStat
+	}{
+		Name: c.target.Name, Space: c.space.Kind.String(),
+		Done: p.Done, Total: p.Total, Failures: p.Failures(),
+		Rate: p.Rate, Leases: p.OutstandingLeases,
+		Reassignments: p.Reassignments, Workers: p.Workers,
+	})
+}
+
+// --- progress ------------------------------------------------------------
+
+func (c *Coordinator) touchLocked(workerID string) *workerInfo {
+	wi := c.workers[workerID]
+	if wi == nil {
+		wi = &workerInfo{id: workerID, joined: time.Now()}
+		c.workers[workerID] = wi
+	}
+	wi.left = false
+	return wi
+}
+
+func (c *Coordinator) progressLocked(final bool) Progress {
+	p := Progress{
+		Progress: campaign.Progress{
+			Done:    len(c.space.Classes) - c.remaining,
+			Total:   len(c.space.Classes),
+			Session: c.session,
+			Counts:  c.counts,
+			Elapsed: time.Since(c.start),
+			Final:   final,
+		},
+		OutstandingLeases: c.leased,
+		Reassignments:     c.reassigned,
+	}
+	if p.Elapsed > 0 && c.session > 0 {
+		p.Rate = float64(c.session) / p.Elapsed.Seconds()
+		if rem := c.remaining; rem > 0 && p.Rate > 0 {
+			p.ETA = time.Duration(float64(rem) / p.Rate * float64(time.Second))
+		}
+	}
+	for _, wi := range c.workers {
+		ws := WorkerStat{
+			ID:          wi.id,
+			Experiments: wi.experiments,
+			Merged:      wi.merged,
+			Outstanding: wi.outstanding,
+		}
+		if d := time.Since(wi.joined); d > 0 && wi.experiments > 0 {
+			ws.Rate = float64(wi.experiments) / d.Seconds()
+		}
+		p.Workers = append(p.Workers, ws)
+	}
+	sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].ID < p.Workers[j].ID })
+	return p
+}
+
+func (c *Coordinator) emitLocked(final bool) {
+	if c.opts.OnProgress == nil {
+		return
+	}
+	c.lastEmit = time.Now()
+	c.opts.OnProgress(c.progressLocked(final))
+}

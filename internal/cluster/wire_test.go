@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"faultspace/internal/checkpoint"
+)
+
+func testSpec() Spec {
+	var id [32]byte
+	for i := range id {
+		id[i] = byte(i * 7)
+	}
+	return Spec{
+		Proto:           ProtoVersion,
+		Identity:        id,
+		Name:            "hi/baseline",
+		Code:            []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Image:           []byte{0xaa, 0x55},
+		RAMSize:         2,
+		MaxSerial:       1 << 16,
+		TimerPeriod:     64,
+		TimerVector:     12,
+		SpaceKind:       1,
+		TimeoutFactor:   4,
+		TimeoutSlack:    256,
+		MaxGoldenCycles: 1 << 22,
+		Classes:         16,
+		LeaseTTL:        10 * time.Second,
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	want := testSpec()
+	got, err := DecodeSpec(EncodeSpec(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spec round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWorkUnitRoundTrip(t *testing.T) {
+	for _, want := range []WorkUnit{
+		{Status: UnitGranted, ID: 3, Token: 99, Classes: []int{0, 1, 5, 1000, 1001}},
+		{Status: UnitWait},
+		{Status: UnitDone},
+		{Status: UnitShutdown},
+	} {
+		got, err := DecodeWorkUnit(EncodeWorkUnit(want))
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("unit round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestSubmissionRoundTrip(t *testing.T) {
+	want := Submission{
+		WorkerID: "w1",
+		UnitID:   7,
+		Token:    42,
+		Entries: []checkpoint.Entry{
+			{Class: 0, Outcome: 2}, {Class: 3, Outcome: 0}, {Class: 4, Outcome: 7},
+		},
+	}
+	want.Identity[0] = 0xfe
+	got, err := DecodeSubmission(EncodeSubmission(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("submission round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHeartbeatAndLeaseRoundTrip(t *testing.T) {
+	hb := Heartbeat{WorkerID: "w2", Units: []uint64{1, 9}}
+	gotHB, err := DecodeHeartbeat(EncodeHeartbeat(hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotHB, hb) {
+		t.Errorf("heartbeat round trip: got %+v want %+v", gotHB, hb)
+	}
+	lr := LeaseRequest{WorkerID: "w3"}
+	gotLR, err := DecodeLeaseRequest(EncodeLeaseRequest(lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLR, lr) {
+		t.Errorf("lease round trip: got %+v want %+v", gotLR, lr)
+	}
+}
+
+func TestDecodeRejectsWrongKindAndGarbage(t *testing.T) {
+	if _, err := DecodeWorkUnit(EncodeSpec(testSpec())); err == nil {
+		t.Error("work-unit decoder must reject a spec frame")
+	}
+	if _, err := DecodeSpec(nil); err == nil {
+		t.Error("spec decoder must reject empty input")
+	}
+	if _, err := DecodeLeaseRequest(EncodeLeaseRequest(LeaseRequest{})); err == nil {
+		t.Error("empty worker id must be rejected")
+	}
+	// Descending classes violate the strict-ascending contract.
+	bad := checkpoint.AppendFrame(nil, 'W', []byte{
+		UnitGranted,
+		1, 0, 0, 0, 0, 0, 0, 0, // id
+		1, 0, 0, 0, 0, 0, 0, 0, // token
+		2, // two classes
+		5, // class 4
+		0, // delta 0 — not ascending
+	})
+	if _, err := DecodeWorkUnit(bad); err == nil {
+		t.Error("zero class delta must be rejected")
+	}
+	// Trailing bytes after a valid frame.
+	withTail := append(EncodeWorkUnit(WorkUnit{Status: UnitWait}), 0x00)
+	if _, err := DecodeWorkUnit(withTail); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+// FuzzWorkUnitDecode is the cluster mirror of FuzzCheckpointDecode: the
+// wire-protocol decoder must error on mutated or truncated frames, never
+// panic, and everything it accepts must re-encode to the same bytes.
+func FuzzWorkUnitDecode(f *testing.F) {
+	f.Add(EncodeWorkUnit(WorkUnit{Status: UnitGranted, ID: 1, Token: 2, Classes: []int{0, 1, 2, 250, 4096}}))
+	f.Add(EncodeWorkUnit(WorkUnit{Status: UnitWait}))
+	f.Add(EncodeWorkUnit(WorkUnit{Status: UnitDone}))
+	f.Add(EncodeWorkUnit(WorkUnit{Status: UnitShutdown, ID: ^uint64(0), Token: ^uint64(0)}))
+	f.Add(EncodeSpec(testSpec()))
+	f.Add(EncodeSubmission(Submission{WorkerID: "w", Entries: []checkpoint.Entry{{Class: 1, Outcome: 3}}}))
+	f.Add([]byte{})
+	f.Add([]byte("W garbage that is not a frame"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeWorkUnit(data)
+		if err == nil {
+			// Whatever the decoder accepts must satisfy the protocol
+			// invariants and survive a semantic round trip.
+			if u.Status > UnitShutdown {
+				t.Errorf("accepted unit with invalid status %d", u.Status)
+			}
+			for i := 1; i < len(u.Classes); i++ {
+				if u.Classes[i] <= u.Classes[i-1] {
+					t.Errorf("accepted unit with non-ascending classes: %v", u.Classes)
+				}
+			}
+			again, err := DecodeWorkUnit(EncodeWorkUnit(u))
+			if err != nil || !reflect.DeepEqual(again, u) {
+				t.Errorf("unit round trip failed: %+v vs %+v (%v)", again, u, err)
+			}
+		}
+		// The sibling decoders share the reader; they must be equally
+		// panic-free on arbitrary input.
+		DecodeSpec(data)
+		DecodeSubmission(data)
+		DecodeHeartbeat(data)
+		DecodeLeaseRequest(data)
+	})
+}

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"faultspace/internal/campaign"
+	"faultspace/internal/checkpoint"
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// Worker sentinel errors.
+var (
+	// ErrShutdown is returned by Join when the coordinator announced an
+	// interrupt-driven shutdown before the campaign completed.
+	ErrShutdown = errors.New("cluster: coordinator shut down")
+	// ErrRejected is returned when the coordinator rejected the worker —
+	// identity mismatch or a protocol violation. Not retryable.
+	ErrRejected = errors.New("cluster: rejected by coordinator")
+	// ErrUnreachable is returned when the coordinator stayed unreachable
+	// through the bounded retry budget.
+	ErrUnreachable = errors.New("cluster: coordinator unreachable")
+)
+
+// WorkerOptions parameterizes Join.
+type WorkerOptions struct {
+	// ID names the worker in leases and statistics (default "w<pid>").
+	ID string
+	// Workers is the number of parallel experiment executors per unit
+	// (default GOMAXPROCS, via campaign.Config).
+	Workers int
+	// Strategy selects the experiment execution strategy (default
+	// snapshot). Deliberately free to differ from other workers — the
+	// strategy-equivalence invariant guarantees identical outcomes.
+	Strategy campaign.Strategy
+	// MaxRetries bounds consecutive failed attempts per request before
+	// the worker gives up (default 6).
+	MaxRetries int
+	// BaseBackoff is the initial retry backoff, doubled per attempt up to
+	// MaxBackoff (defaults 50ms / 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// PollInterval is the wait between lease polls when every unit is
+	// leased out (default 200ms).
+	PollInterval time.Duration
+	// Interrupt, when closed, makes the worker stop abruptly — mid-unit,
+	// without submitting or deregistering, exactly like a crash. The
+	// lease-expiry path of the coordinator must absorb it.
+	Interrupt <-chan struct{}
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Logf, when non-nil, receives worker life-cycle log lines.
+	Logf func(format string, args ...any)
+	// onUnit is a test hook invoked after each granted lease.
+	onUnit func(u WorkUnit)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.ID == "" {
+		o.ID = fmt.Sprintf("w%d", os.Getpid())
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 6
+	}
+	if o.BaseBackoff == 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 200 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Join connects to a coordinator, rebuilds the campaign from the
+// handshake spec — the worker needs no local program knowledge — and
+// pulls, executes and submits work units until the campaign completes.
+// It returns nil on completion, ErrShutdown when the coordinator stopped
+// early, campaign.ErrInterrupted when Options.Interrupt fired, and a
+// permanent error for admission or protocol failures.
+func Join(baseURL string, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	w := &worker{base: strings.TrimSuffix(baseURL, "/"), opts: opts}
+
+	body, err := w.post("/v1/handshake", nil)
+	if err != nil {
+		return err
+	}
+	spec, err := DecodeSpec(body)
+	if err != nil {
+		return fmt.Errorf("cluster: handshake: %w", err)
+	}
+	if spec.Proto != ProtoVersion {
+		return fmt.Errorf("%w: coordinator speaks protocol %d, this worker %d", ErrRejected, spec.Proto, ProtoVersion)
+	}
+	if err := w.rebuild(spec); err != nil {
+		return err
+	}
+	opts.Logf("worker %s: joined %s (%s, %d classes, %s space)",
+		opts.ID, w.base, spec.Name, len(w.space.Classes), w.space.Kind)
+	return w.loop()
+}
+
+type worker struct {
+	base string
+	opts WorkerOptions
+
+	spec   Spec
+	target campaign.Target
+	golden *trace.Golden
+	space  *pruning.FaultSpace
+	cfg    campaign.Config
+}
+
+// rebuild reconstructs the campaign from the handshake spec and verifies
+// the identity hash — the worker-side half of the admission check. A
+// worker whose rebuild diverges (different simulator semantics, skewed
+// spec) fails here rather than poisoning results.
+func (w *worker) rebuild(spec Spec) error {
+	code, err := isa.DecodeProgram(spec.Code)
+	if err != nil {
+		return fmt.Errorf("cluster: spec program: %w", err)
+	}
+	w.target = campaign.Target{
+		Name:  spec.Name,
+		Code:  code,
+		Image: append([]byte(nil), spec.Image...),
+		Mach: machine.Config{
+			RAMSize:     int(spec.RAMSize),
+			MaxSerial:   int(spec.MaxSerial),
+			TimerPeriod: spec.TimerPeriod,
+			TimerVector: spec.TimerVector,
+		},
+	}
+	w.cfg = campaign.Config{
+		TimeoutFactor: spec.TimeoutFactor,
+		TimeoutSlack:  spec.TimeoutSlack,
+		Workers:       w.opts.Workers,
+		Strategy:      w.opts.Strategy,
+		Interrupt:     w.opts.Interrupt,
+	}
+	kind := pruning.SpaceKind(spec.SpaceKind)
+	g, fs, err := w.target.PrepareSpace(kind, spec.MaxGoldenCycles)
+	if err != nil {
+		return fmt.Errorf("cluster: rebuild campaign: %w", err)
+	}
+	if uint64(len(fs.Classes)) != spec.Classes {
+		return fmt.Errorf("%w: rebuilt fault space has %d classes, coordinator announced %d",
+			ErrRejected, len(fs.Classes), spec.Classes)
+	}
+	id, err := w.target.CampaignIdentity(kind, w.cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: identity: %w", err)
+	}
+	if id != spec.Identity {
+		return fmt.Errorf("%w: rebuilt campaign identity differs from the coordinator's", ErrRejected)
+	}
+	w.golden = g
+	w.space = fs
+	w.spec = spec
+	return nil
+}
+
+func (w *worker) loop() error {
+	leaseReq := EncodeLeaseRequest(LeaseRequest{Identity: w.spec.Identity, WorkerID: w.opts.ID})
+	for {
+		if w.interrupted() {
+			return campaign.ErrInterrupted
+		}
+		body, err := w.post("/v1/lease", leaseReq)
+		if err != nil {
+			return err
+		}
+		u, err := DecodeWorkUnit(body)
+		if err != nil {
+			return fmt.Errorf("cluster: lease: %w", err)
+		}
+		if w.opts.onUnit != nil {
+			w.opts.onUnit(u)
+		}
+		switch u.Status {
+		case UnitDone:
+			w.leave(leaseReq)
+			w.opts.Logf("worker %s: campaign complete", w.opts.ID)
+			return nil
+		case UnitShutdown:
+			w.leave(leaseReq)
+			return ErrShutdown
+		case UnitWait:
+			select {
+			case <-w.opts.Interrupt:
+				return campaign.ErrInterrupted
+			case <-time.After(w.opts.PollInterval):
+			}
+			continue
+		}
+
+		for _, ci := range u.Classes {
+			if ci >= len(w.space.Classes) {
+				return fmt.Errorf("%w: leased class %d outside the fault space", ErrRejected, ci)
+			}
+		}
+		outcomes, err := w.runUnit(u)
+		if err != nil {
+			if errors.Is(err, campaign.ErrInterrupted) {
+				// Die abruptly, as a crashed worker would: the unit's lease
+				// expires and the coordinator reassigns it.
+				return campaign.ErrInterrupted
+			}
+			return err
+		}
+		if err := w.submit(u, outcomes); err != nil {
+			return err
+		}
+		w.opts.Logf("worker %s: unit %d done (%d classes)", w.opts.ID, u.ID, len(u.Classes))
+	}
+}
+
+// runUnit executes one leased unit through the regular campaign
+// machinery, heartbeating the lease while it runs.
+func (w *worker) runUnit(u WorkUnit) (map[int]campaign.Outcome, error) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go w.heartbeat(u.ID, stop)
+	return campaign.RunClasses(w.target, w.golden, w.space, w.cfg, u.Classes)
+}
+
+// heartbeat extends the lease of a unit every LeaseTTL/3 until stopped.
+// Failures are ignored: a missed heartbeat at worst costs a reassignment,
+// which the idempotent merge absorbs.
+func (w *worker) heartbeat(unitID uint64, stop <-chan struct{}) {
+	frame := EncodeHeartbeat(Heartbeat{Identity: w.spec.Identity, WorkerID: w.opts.ID, Units: []uint64{unitID}})
+	t := time.NewTicker(w.spec.LeaseTTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.postOnce("/v1/heartbeat", frame)
+		}
+	}
+}
+
+func (w *worker) submit(u WorkUnit, outcomes map[int]campaign.Outcome) error {
+	entries := make([]checkpoint.Entry, 0, len(outcomes))
+	for ci, o := range outcomes {
+		entries = append(entries, checkpoint.Entry{Class: ci, Outcome: uint8(o)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Class < entries[j].Class })
+	_, err := w.post("/v1/submit", EncodeSubmission(Submission{
+		Identity: w.spec.Identity,
+		WorkerID: w.opts.ID,
+		UnitID:   u.ID,
+		Token:    u.Token,
+		Entries:  entries,
+	}))
+	return err
+}
+
+// leave deregisters the worker, best effort.
+func (w *worker) leave(leaseReq []byte) {
+	w.postOnce("/v1/leave", leaseReq)
+}
+
+func (w *worker) interrupted() bool {
+	select {
+	case <-w.opts.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// post issues one POST with bounded retries and exponential backoff.
+// Transport errors and 5xx responses are retried; 4xx responses are
+// permanent (ErrRejected).
+func (w *worker) post(path string, body []byte) ([]byte, error) {
+	backoff := w.opts.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < w.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-w.opts.Interrupt:
+				return nil, campaign.ErrInterrupted
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > w.opts.MaxBackoff {
+				backoff = w.opts.MaxBackoff
+			}
+		}
+		resp, status, err := w.postOnce(path, body)
+		switch {
+		case err != nil:
+			lastErr = err
+		case status == http.StatusOK:
+			return resp, nil
+		case status >= 500:
+			lastErr = fmt.Errorf("cluster: %s: HTTP %d: %s", path, status, strings.TrimSpace(string(resp)))
+		default:
+			return nil, fmt.Errorf("%w: %s: HTTP %d: %s", ErrRejected, path, status, strings.TrimSpace(string(resp)))
+		}
+		w.opts.Logf("worker %s: %s attempt %d/%d failed: %v", w.opts.ID, path, attempt+1, w.opts.MaxRetries, lastErr)
+	}
+	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrUnreachable, path, w.opts.MaxRetries, lastErr)
+}
+
+func (w *worker) postOnce(path string, body []byte) ([]byte, int, error) {
+	resp, err := w.opts.Client.Post(w.base+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, resp.StatusCode, nil
+}
