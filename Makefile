@@ -17,12 +17,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# A short deterministic-corpus + 10s randomized smoke of the two binary
-# decoders exposed to untrusted bytes: corrupted checkpoint files and
-# mutated cluster wire frames must error, never panic.
+# A short deterministic-corpus + 10s randomized smoke of the attack
+# surfaces: the two binary decoders exposed to untrusted bytes
+# (corrupted checkpoint files and mutated cluster wire frames must
+# error, never panic), and the ladder delta-restore engine (random
+# programs + random restore/flip/run sequences must reproduce full-
+# snapshot state bit-for-bit).
 fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
+	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzDeltaRestore -fuzztime=10s
 
 bench:
 	$(GO) test -bench=. -benchmem

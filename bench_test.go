@@ -7,7 +7,9 @@
 package faultspace_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -226,7 +228,107 @@ func BenchmarkExtensionMechanisms(b *testing.B) {
 	b.ReportMetric(tmrRatio, "tmr-failure-ratio")
 }
 
+// scanBenchResult is one (benchmark, strategy) timing from
+// BenchmarkFullScan, emitted to BENCH_scan.json by TestMain so the scan
+// hot path's perf trajectory is tracked from PR to PR.
+type scanBenchResult struct {
+	Benchmark string  `json:"benchmark"`
+	Strategy  string  `json:"strategy"`
+	Classes   int     `json:"classes"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+var scanBench struct {
+	sync.Mutex
+	results []scanBenchResult
+}
+
+// TestMain emits BENCH_scan.json after a benchmark run that exercised
+// BenchmarkFullScan; plain `go test` runs write nothing.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	scanBench.Lock()
+	results := scanBench.results
+	scanBench.Unlock()
+	if code == 0 && len(results) > 0 {
+		if data, err := json.MarshalIndent(results, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_scan.json", append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: BENCH_scan.json:", err)
+			}
+		}
+	}
+	os.Exit(code)
+}
+
 // --- Ablation benchmarks (DESIGN.md §6) ---
+
+// scanBenchSizes are larger than benchSizes on purpose: the executor
+// benchmark needs golden traces long enough that per-experiment
+// simulation (not channel/classify overhead) dominates, as it does at
+// realistic campaign sizes.
+var scanBenchSizes = experiments.Figure2Config{
+	BinSemRounds: 8,
+	SyncRounds:   8,
+	SyncBufBytes: 64,
+}
+
+// BenchmarkFullScan times the complete full-scan pipeline per execution
+// strategy on the two Figure-2 kernels. This is the headline executor
+// benchmark: the ladder strategy must beat rerun by ≥ 2× here (see
+// DESIGN.md §6), and its timings feed BENCH_scan.json.
+func BenchmarkFullScan(b *testing.B) {
+	benches := []struct {
+		name string
+		spec progs.Spec
+	}{
+		{"bin_sem2", progs.BinSem2(scanBenchSizes.BinSemRounds)},
+		{"sync2", progs.Sync2(scanBenchSizes.SyncRounds, scanBenchSizes.SyncBufBytes)},
+	}
+	strategies := []struct {
+		name  string
+		strat faultspace.Strategy
+	}{
+		{"snapshot", faultspace.StrategySnapshot},
+		{"rerun", faultspace.StrategyRerun},
+		{"ladder", faultspace.StrategyLadder},
+	}
+	for _, bench := range benches {
+		p, err := bench.spec.Baseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range strategies {
+			b.Run(bench.name+"/"+st.name, func(b *testing.B) {
+				classes := 0
+				for i := 0; i < b.N; i++ {
+					res, err := faultspace.Scan(p, faultspace.ScanOptions{Strategy: st.strat})
+					if err != nil {
+						b.Fatal(err)
+					}
+					classes = len(res.Outcomes)
+				}
+				r := scanBenchResult{
+					Benchmark: bench.name,
+					Strategy:  st.name,
+					Classes:   classes,
+					NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				}
+				// The framework re-runs each sub-benchmark while
+				// calibrating b.N; keep only the final (longest) run.
+				scanBench.Lock()
+				for i := range scanBench.results {
+					if scanBench.results[i].Benchmark == r.Benchmark &&
+						scanBench.results[i].Strategy == r.Strategy {
+						scanBench.results = append(scanBench.results[:i], scanBench.results[i+1:]...)
+						break
+					}
+				}
+				scanBench.results = append(scanBench.results, r)
+				scanBench.Unlock()
+			})
+		}
+	}
+}
 
 // BenchmarkAblationSnapshotVsRerun compares the two experiment-execution
 // strategies on the same full scan: forking from snapshots at the
@@ -314,35 +416,44 @@ func BenchmarkClusterScan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				addrCh := make(chan string, 1)
-				var wg sync.WaitGroup
-				wg.Add(workers)
-				go func() {
-					addr := <-addrCh
-					for j := 0; j < workers; j++ {
-						go func(j int) {
-							defer wg.Done()
-							if err := faultspace.JoinScan(addr, faultspace.JoinOptions{
-								WorkerID: fmt.Sprintf("w%d", j),
-							}); err != nil {
-								b.Error(err)
-							}
-						}(j)
+	for _, strat := range []struct {
+		name  string
+		strat faultspace.Strategy
+	}{
+		{"snapshot", faultspace.StrategySnapshot},
+		{"ladder", faultspace.StrategyLadder},
+	} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("strategy=%s/workers=%d", strat.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					addrCh := make(chan string, 1)
+					var wg sync.WaitGroup
+					wg.Add(workers)
+					go func() {
+						addr := <-addrCh
+						for j := 0; j < workers; j++ {
+							go func(j int) {
+								defer wg.Done()
+								if err := faultspace.JoinScan(addr, faultspace.JoinOptions{
+									WorkerID: fmt.Sprintf("w%d", j),
+									Strategy: strat.strat,
+								}); err != nil {
+									b.Error(err)
+								}
+							}(j)
+						}
+					}()
+					_, err := faultspace.ServeScan(p, "127.0.0.1:0", faultspace.ServeOptions{
+						UnitSize: 16,
+						OnListen: func(addr string) { addrCh <- addr },
+					})
+					if err != nil {
+						b.Fatal(err)
 					}
-				}()
-				_, err := faultspace.ServeScan(p, "127.0.0.1:0", faultspace.ServeOptions{
-					UnitSize: 16,
-					OnListen: func(addr string) { addrCh <- addr },
-				})
-				if err != nil {
-					b.Fatal(err)
+					wg.Wait()
 				}
-				wg.Wait()
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -179,7 +179,14 @@ type JoinOptions struct {
 	Workers int
 	// Rerun selects the rerun-from-reset strategy for this worker's
 	// experiments; strategies may differ freely across the cluster.
+	// Superseded by Strategy; ignored when Strategy is set.
 	Rerun bool
+	// Strategy selects this worker's execution strategy explicitly
+	// (default snapshot, or rerun when Rerun is set).
+	Strategy Strategy
+	// LadderInterval is the rung spacing for StrategyLadder (0 auto-
+	// tunes from the golden-trace length).
+	LadderInterval uint64
 	// Interrupt, when closed, makes the worker die abruptly mid-unit
 	// without submitting — the crash the coordinator's lease expiry must
 	// absorb.
@@ -196,12 +203,14 @@ type JoinOptions struct {
 // whose campaign identity differs from the coordinator's is rejected.
 func JoinScan(addr string, opts JoinOptions) error {
 	wopts := cluster.WorkerOptions{
-		ID:        opts.WorkerID,
-		Workers:   opts.Workers,
-		Interrupt: opts.Interrupt,
-		Logf:      opts.Logf,
+		ID:             opts.WorkerID,
+		Workers:        opts.Workers,
+		Strategy:       opts.Strategy,
+		LadderInterval: opts.LadderInterval,
+		Interrupt:      opts.Interrupt,
+		Logf:           opts.Logf,
 	}
-	if opts.Rerun {
+	if wopts.Strategy == 0 && opts.Rerun {
 		wopts.Strategy = campaign.StrategyRerun
 	}
 	if err := cluster.Join(normalizeURL(addr), wopts); err != nil {

@@ -60,7 +60,8 @@ func run(args []string, w, errW io.Writer) error {
 		biased   = fs.Bool("biased", false, "sample classes uniformly (Pitfall 2) instead of raw coordinates")
 		effect   = fs.Bool("effective", false, "sample the reduced population w' (Corollary 1)")
 		rerun    = fs.Bool("rerun", false, "use the rerun-from-start strategy instead of snapshot forking")
-		strategy = fs.String("strategy", "", "experiment strategy: snapshot or rerun (default snapshot)")
+		strategy = fs.String("strategy", "", "experiment strategy: snapshot, rerun or ladder (default snapshot)")
+		ladderIv = fs.Uint64("ladder-interval", 0, "rung spacing in cycles for -strategy ladder (0 = auto-tune)")
 		space    = fs.String("space", "memory", "fault space: memory or registers (§VI-B)")
 		workers  = fs.Int("workers", 0, "parallel experiment executors (0 = GOMAXPROCS)")
 		serve    = fs.String("serve", "", "coordinate a distributed scan: serve work units on this address")
@@ -94,9 +95,12 @@ func run(args []string, w, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
-	useRerun, err := parseStrategy(*strategy, *rerun)
+	strat, err := parseStrategy(*strategy, *rerun)
 	if err != nil {
 		return err
+	}
+	if *ladderIv > 0 && strat != faultspace.StrategyLadder {
+		return fmt.Errorf("-ladder-interval requires -strategy ladder")
 	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
@@ -119,9 +123,10 @@ func run(args []string, w, errW io.Writer) error {
 			return fmt.Errorf("-join is a pure worker: it accepts no campaign, archive or checkpoint flags")
 		}
 		jopts := faultspace.JoinOptions{
-			WorkerID: *workerID,
-			Workers:  *workers,
-			Rerun:    useRerun,
+			WorkerID:       *workerID,
+			Workers:        *workers,
+			Strategy:       strat,
+			LadderInterval: *ladderIv,
 		}
 		if *progress {
 			jopts.Logf = func(format string, args ...any) {
@@ -176,7 +181,12 @@ func run(args []string, w, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := faultspace.ScanOptions{Workers: *workers, Rerun: useRerun, Space: spaceKind}
+	opts := faultspace.ScanOptions{
+		Workers:        *workers,
+		Strategy:       strat,
+		LadderInterval: *ladderIv,
+		Space:          spaceKind,
+	}
 	if *progress {
 		opts.OnProgress = progressPrinter(errW)
 	}
@@ -286,19 +296,27 @@ func parseSpace(s string) (faultspace.SpaceKind, error) {
 
 // parseStrategy validates the -strategy flag value and reconciles it
 // with the legacy -rerun boolean.
-func parseStrategy(s string, rerun bool) (useRerun bool, err error) {
+func parseStrategy(s string, rerun bool) (faultspace.Strategy, error) {
 	switch s {
 	case "":
-		return rerun, nil
+		if rerun {
+			return faultspace.StrategyRerun, nil
+		}
+		return faultspace.StrategySnapshot, nil
 	case "snapshot":
 		if rerun {
-			return false, fmt.Errorf("-strategy snapshot contradicts -rerun")
+			return 0, fmt.Errorf("-strategy snapshot contradicts -rerun")
 		}
-		return false, nil
+		return faultspace.StrategySnapshot, nil
 	case "rerun":
-		return true, nil
+		return faultspace.StrategyRerun, nil
+	case "ladder":
+		if rerun {
+			return 0, fmt.Errorf("-strategy ladder contradicts -rerun")
+		}
+		return faultspace.StrategyLadder, nil
 	default:
-		return false, fmt.Errorf("unknown strategy %q (valid: snapshot, rerun)", s)
+		return 0, fmt.Errorf("unknown strategy %q (valid: snapshot, rerun, ladder)", s)
 	}
 }
 

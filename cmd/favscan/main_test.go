@@ -242,8 +242,11 @@ func TestFlagValidationUpfront(t *testing.T) {
 		want string
 	}{
 		{[]string{"-space", "cache", "hi"}, "valid: memory, registers"},
-		{[]string{"-strategy", "quantum", "hi"}, "valid: snapshot, rerun"},
+		{[]string{"-strategy", "quantum", "hi"}, "valid: snapshot, rerun, ladder"},
 		{[]string{"-strategy", "snapshot", "-rerun", "hi"}, "contradicts"},
+		{[]string{"-strategy", "ladder", "-rerun", "hi"}, "contradicts"},
+		{[]string{"-ladder-interval", "64", "hi"}, "requires -strategy ladder"},
+		{[]string{"-ladder-interval", "64", "-strategy", "rerun", "hi"}, "requires -strategy ladder"},
 		{[]string{"-serve", ":0", "-join", "x:1", "hi"}, "mutually exclusive"},
 		{[]string{"-serve", ":0", "-sample", "10", "hi"}, "full scans only"},
 		{[]string{"-join", "x:1", "hi"}, "no benchmark argument"},
@@ -258,11 +261,20 @@ func TestFlagValidationUpfront(t *testing.T) {
 			t.Errorf("run(%v): error %q does not mention %q", tc.args, err, tc.want)
 		}
 	}
-	// Strategy flag accepts its valid values.
+	// Strategy flag accepts its valid values, and none of them (nor the
+	// ladder rung spacing) may change the scan report.
 	a := runScan(t, "-strategy", "snapshot", "hi")
 	b := runScan(t, "-strategy", "rerun", "hi")
 	if a != b {
 		t.Error("-strategy must not change scan results")
+	}
+	c := runScan(t, "-strategy", "ladder", "hi")
+	if a != c {
+		t.Error("-strategy ladder must not change scan results")
+	}
+	d := runScan(t, "-strategy", "ladder", "-ladder-interval", "3", "hi")
+	if a != d {
+		t.Error("-ladder-interval must not change scan results")
 	}
 }
 
@@ -329,9 +341,14 @@ func serveWithWorkers(t *testing.T, serveArgs []string, nWorkers int) string {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Mixed strategies across the cluster: outcomes must not
+			// depend on which strategy which worker runs.
 			args := []string{"-join", addr, "-worker-id", fmt.Sprintf("w%d", i)}
-			if i%2 == 1 {
+			switch i % 3 {
+			case 1:
 				args = append(args, "-strategy", "rerun")
+			case 2:
+				args = append(args, "-strategy", "ladder")
 			}
 			if err := run(args, io.Discard, io.Discard); err != nil {
 				t.Errorf("worker %d: %v", i, err)

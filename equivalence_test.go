@@ -1,7 +1,9 @@
 package faultspace
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -10,8 +12,8 @@ import (
 )
 
 // equivSizes shrinks every bundled benchmark so the naive rerun strategy
-// stays affordable: the differential suite runs each benchmark twice in
-// full plus an interrupted+resumed pass.
+// stays affordable: the differential matrix runs each benchmark under
+// every strategy in every fault space, plus an interrupted+resumed pass.
 var equivSizes = progs.Sizes{
 	BinSemRounds:  1,
 	SyncRounds:    1,
@@ -51,30 +53,73 @@ func assertSameOutcomes(t *testing.T, label string, want, got *ScanResult) {
 	}
 }
 
-// TestStrategyEquivalenceAllBenchmarks is the differential suite: for
-// every bundled benchmark, StrategySnapshot and StrategyRerun must
-// produce identical outcome vectors (the invariant that justifies
-// excluding the strategy from the campaign identity hash), and a scan
-// interrupted at ~50% and resumed from its checkpoint must match an
-// uninterrupted scan bit-for-bit.
+// scanBytes serializes a scan result through the JSON archive writer —
+// the strongest equality check available: if two results archive to the
+// same bytes, every report derived from them is byte-identical too.
+func scanBytes(t *testing.T, res *ScanResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveScan(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStrategyEquivalenceAllBenchmarks is the differential strategy-
+// equivalence matrix (DESIGN.md invariant 9): for every bundled
+// benchmark × every fault-space kind × every execution strategy, the
+// archived scan result must be byte-identical to the naive rerun
+// reference. This is the invariant that justifies excluding Strategy
+// (and LadderInterval) from the campaign identity hash.
 func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 	for _, name := range progs.Names() {
 		t.Run(name, func(t *testing.T) {
 			prog := equivProgram(t, name)
-			snap, err := Scan(prog, ScanOptions{})
+			for _, space := range []SpaceKind{SpaceMemory, SpaceRegisters} {
+				rerun, err := Scan(prog, ScanOptions{Space: space, Strategy: StrategyRerun})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := scanBytes(t, rerun)
+				for _, tc := range []struct {
+					label string
+					opts  ScanOptions
+				}{
+					{"snapshot", ScanOptions{Space: space, Strategy: StrategySnapshot}},
+					{"ladder/auto", ScanOptions{Space: space, Strategy: StrategyLadder}},
+					{"ladder/7", ScanOptions{Space: space, Strategy: StrategyLadder, LadderInterval: 7}},
+				} {
+					label := fmt.Sprintf("%s %s vs rerun", space, tc.label)
+					got, err := Scan(prog, tc.opts)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					assertSameOutcomes(t, label, rerun, got)
+					if got.Identity != rerun.Identity {
+						t.Errorf("%s: strategies must share one campaign identity", label)
+					}
+					if !bytes.Equal(scanBytes(t, got), ref) {
+						t.Errorf("%s: archived reports are not byte-identical", label)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInterruptResumeEquivalence interrupts a scan at ~50%, resumes it
+// from its checkpoint under a different strategy, and requires the
+// resumed result to match an uninterrupted scan bit-for-bit — the
+// checkpoint is strategy-agnostic by design.
+func TestInterruptResumeEquivalence(t *testing.T) {
+	for _, name := range progs.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog := equivProgram(t, name)
+			full, err := Scan(prog, ScanOptions{})
 			if err != nil {
 				t.Fatal(err)
-			}
-			rerun, err := Scan(prog, ScanOptions{Rerun: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			assertSameOutcomes(t, "snapshot vs rerun", snap, rerun)
-			if snap.Identity != rerun.Identity {
-				t.Error("strategies must share one campaign identity")
 			}
 
-			// Interrupt at ~50%, then resume from the checkpoint file.
 			ck := filepath.Join(t.TempDir(), name+".ckpt")
 			intCh := make(chan struct{})
 			var once sync.Once
@@ -95,33 +140,23 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 			if partial == nil {
 				t.Fatal("interrupted scan must return its partial result")
 			}
-			resumed, err := Scan(prog, ScanOptions{Checkpoint: ck, Resume: true})
+			// Resume under the ladder strategy: the first half ran under
+			// snapshot, and the checkpoint must not care.
+			resumed, err := Scan(prog, ScanOptions{
+				Checkpoint: ck,
+				Resume:     true,
+				Strategy:   StrategyLadder,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertSameOutcomes(t, "interrupted+resumed vs uninterrupted", snap, resumed)
-			if resumed.Identity != snap.Identity {
+			assertSameOutcomes(t, "interrupted+resumed vs uninterrupted", full, resumed)
+			if resumed.Identity != full.Identity {
 				t.Error("resumed scan must keep the campaign identity")
 			}
-		})
-	}
-}
-
-// TestStrategyEquivalenceRegisters extends the differential check to the
-// §VI-B register fault space on a subset of benchmarks.
-func TestStrategyEquivalenceRegisters(t *testing.T) {
-	for _, name := range []string{"hi", "sort1"} {
-		t.Run(name, func(t *testing.T) {
-			prog := equivProgram(t, name)
-			snap, err := Scan(prog, ScanOptions{Space: SpaceRegisters})
-			if err != nil {
-				t.Fatal(err)
+			if !bytes.Equal(scanBytes(t, resumed), scanBytes(t, full)) {
+				t.Error("resumed archive is not byte-identical to an uninterrupted scan's")
 			}
-			rerun, err := Scan(prog, ScanOptions{Space: SpaceRegisters, Rerun: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			assertSameOutcomes(t, "registers snapshot vs rerun", snap, rerun)
 		})
 	}
 }

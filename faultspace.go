@@ -78,6 +78,26 @@ const (
 	SpaceRegisters = pruning.SpaceRegisters
 )
 
+// Strategy selects how scan experiments re-reach their injection slot.
+type Strategy = campaign.Strategy
+
+// Experiment-execution strategies. All strategies produce byte-identical
+// scan results (the strategy-equivalence invariant); they differ only in
+// speed and memory.
+const (
+	// StrategySnapshot advances one pioneer machine through the golden run
+	// and forks experiment machines at each injection slot. Default.
+	StrategySnapshot = campaign.StrategySnapshot
+	// StrategyRerun re-executes every experiment from the reset state —
+	// the naive mode, kept for validation and ablation.
+	StrategyRerun = campaign.StrategyRerun
+	// StrategyLadder captures delta snapshots of the golden run every
+	// LadderInterval cycles and serves each experiment from the nearest
+	// rung at-or-below its injection slot, executing only the remaining
+	// delta.
+	StrategyLadder = campaign.StrategyLadder
+)
+
 // Progress is one event of a scan's progress stream; see ScanOptions.
 type Progress = campaign.Progress
 
@@ -95,8 +115,17 @@ type ScanOptions struct {
 	// GOMAXPROCS).
 	Workers int
 	// Rerun forces the naive rerun-from-start execution strategy instead
-	// of snapshot forking.
+	// of snapshot forking. Superseded by Strategy; kept for backward
+	// compatibility and ignored when Strategy is set.
 	Rerun bool
+	// Strategy selects the execution strategy explicitly (default:
+	// StrategySnapshot, or StrategyRerun when Rerun is set). Strategies
+	// are outcome-invariant: they never change the scan result.
+	Strategy Strategy
+	// LadderInterval is the rung spacing in cycles for StrategyLadder;
+	// 0 auto-tunes from the golden-trace length. Smaller intervals trade
+	// snapshot memory for less delta re-execution per experiment.
+	LadderInterval uint64
 	// MaxGoldenCycles bounds the golden run (default 1<<22).
 	MaxGoldenCycles uint64
 	// Space selects the fault space (default SpaceMemory).
@@ -135,11 +164,13 @@ func (o ScanOptions) campaignConfig() campaign.Config {
 	cfg := campaign.Config{
 		TimeoutFactor:    o.TimeoutFactor,
 		Workers:          o.Workers,
+		Strategy:         o.Strategy,
+		LadderInterval:   o.LadderInterval,
 		OnProgress:       o.OnProgress,
 		ProgressInterval: o.ProgressInterval,
 		Interrupt:        o.Interrupt,
 	}
-	if o.Rerun {
+	if cfg.Strategy == 0 && o.Rerun {
 		cfg.Strategy = campaign.StrategyRerun
 	}
 	return cfg

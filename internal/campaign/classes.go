@@ -69,6 +69,8 @@ func RunClasses(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		scanErr = scanSnapshot(t, golden, fs, cfg, todo, out, m)
 	case StrategyRerun:
 		scanErr = scanRerun(t, golden, fs, cfg, todo, out, m)
+	case StrategyLadder:
+		scanErr = scanLadder(t, golden, fs, cfg, todo, out, m)
 	}
 	if scanErr != nil {
 		if errors.Is(scanErr, ErrInterrupted) {

@@ -1,0 +1,345 @@
+package campaign
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+)
+
+// edgeTarget is built so its fault space exercises every ladder corner:
+// the very first instruction reads preloaded RAM (classes at slot 1,
+// i.e. injection at cycle 0), and reads continue until right before the
+// halt (a class at the maximal slot).
+func edgeTarget() Target {
+	serial := int32(machine.PortSerial)
+	prog := []isa.Instruction{
+		{Op: isa.OpLb, Rd: 1, Rs: 0, Imm: 0},       // cycle 1: use of image byte 0
+		{Op: isa.OpSb, Rt: 1, Rs: 0, Imm: serial},  // cycle 2
+		{Op: isa.OpSbi, Rs: 0, Imm: 1, Imm2: 0x5a}, // cycle 3: def byte 1
+		{Op: isa.OpNop},                           // cycle 4
+		{Op: isa.OpNop},                           // cycle 5
+		{Op: isa.OpLb, Rd: 2, Rs: 0, Imm: 1},      // cycle 6: use at a rung boundary (interval 5)
+		{Op: isa.OpSb, Rt: 2, Rs: 0, Imm: serial}, // cycle 7
+		{Op: isa.OpNop},                           // cycle 8
+		{Op: isa.OpLb, Rd: 3, Rs: 0, Imm: 0},      // cycle 9: use right before halt
+		{Op: isa.OpSb, Rt: 3, Rs: 0, Imm: serial}, // cycle 10
+		{Op: isa.OpHalt},                          // cycle 11
+	}
+	return Target{
+		Name:  "edge",
+		Code:  prog,
+		Image: []byte{0xa5, 0, 0, 0},
+		Mach:  machine.Config{RAMSize: 4},
+	}
+}
+
+// TestLadderEdgeCases pins the ladder corner cases against rerun:
+// injection at cycle 0 (slot 1, restored from rung 0), injection exactly
+// at a rung boundary (zero delta cycles), injection at the maximal slot,
+// all on a fixed program where the rung positions are known.
+func TestLadderEdgeCases(t *testing.T) {
+	target := edgeTarget()
+	golden, fs, err := target.Prepare(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Classes) == 0 {
+		t.Fatal("edge target has an empty fault space")
+	}
+	const interval = 5 // rungs at cycles 0, 5, 10 for the 11-cycle golden run
+
+	var maxSlot uint64
+	haveSlot1, haveBoundary := false, false
+	for _, c := range fs.Classes {
+		slot := c.Slot()
+		if slot == 1 {
+			haveSlot1 = true // restore target cycle 0: rung 0, the reset state
+		}
+		if slot-1 == interval {
+			haveBoundary = true // restore target cycle 5: exactly rung 1, zero delta
+		}
+		if slot > maxSlot {
+			maxSlot = slot
+		}
+	}
+	if !haveSlot1 {
+		t.Error("want a class at slot 1 (injection at cycle 0)")
+	}
+	if !haveBoundary {
+		t.Errorf("want a class at slot %d (injection exactly at a rung boundary)", interval+1)
+	}
+	if maxSlot != golden.Cycles-2 {
+		// The final instructions are `sb` (writes only) and `halt`, so the
+		// last read — the maximal possible slot — is two cycles earlier.
+		t.Errorf("max slot = %d, want %d", maxSlot, golden.Cycles-2)
+	}
+
+	rerun, err := FullScan(target, golden, fs, Config{Strategy: StrategyRerun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := FullScan(target, golden, fs, Config{Strategy: StrategyLadder, LadderInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rerun.Outcomes {
+		if ladder.Outcomes[i] != rerun.Outcomes[i] {
+			t.Errorf("class %d (slot %d): ladder=%v rerun=%v",
+				i, fs.Classes[i].Slot(), ladder.Outcomes[i], rerun.Outcomes[i])
+		}
+	}
+}
+
+// TestLadderConvergenceComposition pins the reconvergence fast path: a
+// fault that corrupts the serial output and then vanishes from the
+// machine state (its RAM byte redefined, its register overwritten)
+// makes the state match a golden rung, so the ladder composes the
+// outcome from the golden trace instead of simulating the remainder.
+// The composed outcome must preserve the divergence that already
+// escaped (SDC) and the masking that already happened (No Effect).
+func TestLadderConvergenceComposition(t *testing.T) {
+	serial := int32(machine.PortSerial)
+	prog := []isa.Instruction{
+		{Op: isa.OpLb, Rd: 1, Rs: 0, Imm: 0},       // cycle 1: use of byte 0 — faults here escape to serial
+		{Op: isa.OpSb, Rt: 1, Rs: 0, Imm: serial},  // cycle 2: emit it
+		{Op: isa.OpLb, Rd: 2, Rs: 0, Imm: 1},       // cycle 3: use of byte 1 — faults here get masked
+		{Op: isa.OpAndi, Rd: 2, Rs: 2, Imm: 0},     // cycle 4: mask to zero
+		{Op: isa.OpSb, Rt: 2, Rs: 0, Imm: serial},  // cycle 5: emit the masked zero
+		{Op: isa.OpSbi, Rs: 0, Imm: 0, Imm2: 0x3c}, // cycle 6: redefine byte 0 — RAM reconverges
+		{Op: isa.OpSbi, Rs: 0, Imm: 1, Imm2: 0x2a}, // cycle 7: redefine byte 1
+		{Op: isa.OpLi, Rd: 1, Imm: 0},              // cycle 8: redefine r1 — registers reconverge
+		{Op: isa.OpLi, Rd: 2, Imm: 0},              // cycle 9
+		{Op: isa.OpNop},                            // cycles 10..12: cross a rung boundary converged
+		{Op: isa.OpNop},                            //
+		{Op: isa.OpNop},                            //
+		{Op: isa.OpLb, Rd: 3, Rs: 0, Imm: 0},       // cycle 13: late use keeps the space interesting
+		{Op: isa.OpSb, Rt: 3, Rs: 0, Imm: serial},  // cycle 14
+		{Op: isa.OpHalt},                           // cycle 15
+	}
+	target := Target{
+		Name:  "reconverge",
+		Code:  prog,
+		Image: []byte{0xa5, 0x11, 0, 0},
+		Mach:  machine.Config{RAMSize: 4},
+	}
+	golden, fs, err := target.Prepare(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun, err := FullScan(target, golden, fs, Config{Strategy: StrategyRerun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval 4 puts rungs at cycles 4, 8, 12: faults at slots 1 and 3
+	// reconverge by cycle 9 and must take the composition fast path at
+	// the cycle-12 rung.
+	ladder, err := FullScan(target, golden, fs, Config{Strategy: StrategyLadder, LadderInterval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc, masked := 0, 0
+	for i, c := range fs.Classes {
+		if ladder.Outcomes[i] != rerun.Outcomes[i] {
+			t.Errorf("class %d (slot %d): ladder=%v rerun=%v",
+				i, c.Slot(), ladder.Outcomes[i], rerun.Outcomes[i])
+		}
+		switch c.Slot() {
+		case 1: // corrupted byte escaped to serial before reconvergence
+			if ladder.Outcomes[i] != OutcomeSDC {
+				t.Errorf("slot-1 class %d: %v, want SDC", i, ladder.Outcomes[i])
+			}
+			sdc++
+		case 3: // corruption masked before reconvergence
+			if ladder.Outcomes[i] != OutcomeNoEffect {
+				t.Errorf("slot-3 class %d: %v, want No Effect", i, ladder.Outcomes[i])
+			}
+			masked++
+		}
+	}
+	if sdc == 0 || masked == 0 {
+		t.Fatalf("fault space lacks the pinned classes (sdc=%d, masked=%d)", sdc, masked)
+	}
+}
+
+// TestLadderShortProgram covers a golden run shorter than one rung
+// interval: the ladder degenerates to the single reset rung and must
+// still classify identically to rerun.
+func TestLadderShortProgram(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	if golden.Cycles >= 100 {
+		t.Fatalf("hi golden run unexpectedly long: %d cycles", golden.Cycles)
+	}
+	rerun, err := FullScan(target, golden, fs, Config{Strategy: StrategyRerun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := FullScan(target, golden, fs, Config{Strategy: StrategyLadder, LadderInterval: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rerun.Outcomes {
+		if ladder.Outcomes[i] != rerun.Outcomes[i] {
+			t.Errorf("class %d: ladder=%v rerun=%v", i, ladder.Outcomes[i], rerun.Outcomes[i])
+		}
+	}
+}
+
+// TestLadderMatchesRerunRandomPrograms is the randomized counterpart to
+// the fixed edge cases, across rung intervals from 1 to beyond the
+// golden runtime.
+func TestLadderMatchesRerunRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		target := randomTarget(rng, 8+rng.Intn(12))
+		golden, fs, err := target.Prepare(1 << 12)
+		if err != nil {
+			t.Fatalf("trial %d: prepare: %v", trial, err)
+		}
+		rerun, err := FullScan(target, golden, fs, Config{Strategy: StrategyRerun})
+		if err != nil {
+			t.Fatal(err)
+		}
+		interval := uint64(1 + rng.Intn(int(golden.Cycles)+4))
+		ladder, err := FullScan(target, golden, fs, Config{Strategy: StrategyLadder, LadderInterval: interval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rerun.Outcomes {
+			if ladder.Outcomes[i] != rerun.Outcomes[i] {
+				t.Fatalf("trial %d interval %d class %d: ladder=%v rerun=%v",
+					trial, interval, i, ladder.Outcomes[i], rerun.Outcomes[i])
+			}
+		}
+	}
+}
+
+func TestLadderIntervalAutoTune(t *testing.T) {
+	cases := []struct {
+		explicit uint64
+		cycles   uint64
+		want     uint64
+	}{
+		{explicit: 7, cycles: 1 << 20, want: 7},           // explicit wins
+		{explicit: 0, cycles: 8, want: MinLadderInterval}, // short run floors
+		{explicit: 0, cycles: 256 * 64, want: 64},         // 256 rungs target
+		{explicit: 0, cycles: 256 * 1000, want: 1000},     //
+		{explicit: 0, cycles: 0, want: MinLadderInterval}, // degenerate
+	}
+	for _, c := range cases {
+		cfg := Config{LadderInterval: c.explicit}
+		if got := cfg.ladderInterval(c.cycles); got != c.want {
+			t.Errorf("ladderInterval(explicit=%d, cycles=%d) = %d, want %d",
+				c.explicit, c.cycles, got, c.want)
+		}
+	}
+}
+
+func TestLadderInterrupt(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	intCh := make(chan struct{})
+	close(intCh)
+	_, err := FullScan(target, golden, fs, Config{Strategy: StrategyLadder, Interrupt: intCh})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestMachinePoolReuse checks the pool contract: recycled machines come
+// back in the reset state, and scans drawing from a pool are outcome-
+// identical to scans allocating fresh machines.
+func TestMachinePoolReuse(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	pool := NewMachinePool(target)
+
+	m1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Run(5) // dirty it
+	if m1.Cycles() == 0 {
+		t.Fatal("setup: machine did not run")
+	}
+	pool.Put(m1)
+	m2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m1 {
+		t.Error("pool did not recycle the machine")
+	}
+	if m2.Cycles() != 0 || m2.Status() != machine.StatusRunning || len(m2.Serial()) != 0 {
+		t.Error("recycled machine is not in the reset state")
+	}
+	pool.Put(m2)
+
+	fresh, err := FullScan(target, golden, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategySnapshot, StrategyRerun, StrategyLadder} {
+		// Two scans per strategy: the second definitely runs on recycled
+		// machines dirtied by the first.
+		for round := 0; round < 2; round++ {
+			pooled, err := FullScan(target, golden, fs, Config{Strategy: strat, Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range fresh.Outcomes {
+				if pooled.Outcomes[i] != fresh.Outcomes[i] {
+					t.Fatalf("strategy %d round %d class %d: pooled=%v fresh=%v",
+						strat, round, i, pooled.Outcomes[i], fresh.Outcomes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMachinePoolWrongTarget(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	other := edgeTarget()
+	pool := NewMachinePool(other)
+	if _, err := FullScan(target, golden, fs, Config{Pool: pool}); err == nil {
+		t.Fatal("scan with a foreign pool must be rejected")
+	}
+}
+
+// TestRunClassesLadderWithPool mirrors the cluster-worker usage: many
+// RunClasses calls on arbitrary class subsets, one shared pool, ladder
+// strategy — together they must reproduce the full scan.
+func TestRunClassesLadderWithPool(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+	full, err := FullScan(target, golden, fs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewMachinePool(target)
+	cfg := Config{Strategy: StrategyLadder, LadderInterval: 3, Pool: pool, Workers: 2}
+	got := make(map[int]Outcome)
+	// Deliberately unordered subsets of mixed size.
+	units := [][]int{{5, 1}, {0, 2, 9, 3}, {4}, {6, 7, 8, 10, 11, 12, 13, 14, 15}}
+	for _, unit := range units {
+		res, err := RunClasses(target, golden, fs, cfg, unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, o := range res {
+			got[ci] = o
+		}
+	}
+	if len(got) != len(full.Outcomes) {
+		t.Fatalf("units covered %d classes, want %d", len(got), len(full.Outcomes))
+	}
+	for ci, o := range got {
+		if o != full.Outcomes[ci] {
+			t.Errorf("class %d: units=%v full=%v", ci, o, full.Outcomes[ci])
+		}
+	}
+}

@@ -94,19 +94,73 @@ func classify(m *machine.Machine, golden *trace.Golden) Outcome {
 			return OutcomeCPUException
 		}
 	case machine.StatusHalted:
-		serial := m.Serial()
-		if bytes.Equal(serial, golden.Serial) {
-			if m.CorrectCount() > golden.Corrects || m.DetectCount() > golden.Detects {
-				return OutcomeDetectedCorrected
-			}
-			return OutcomeNoEffect
-		}
-		if len(serial) < len(golden.Serial) && bytes.HasPrefix(golden.Serial, serial) {
-			return OutcomePrematureHalt
-		}
-		return OutcomeSDC
+		return classifyHalted(m.Serial(), m.DetectCount(), m.CorrectCount(), golden)
 	default:
 		// Unreachable with a correct machine; classify conservatively.
 		return OutcomeSDC
 	}
+}
+
+// classifyHalted classifies a run that halted normally with the given
+// final serial output and event counters.
+func classifyHalted(serial []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
+	if bytes.Equal(serial, golden.Serial) {
+		if corrects > golden.Corrects || detects > golden.Detects {
+			return OutcomeDetectedCorrected
+		}
+		return OutcomeNoEffect
+	}
+	if len(serial) < len(golden.Serial) && bytes.HasPrefix(golden.Serial, serial) {
+		return OutcomePrematureHalt
+	}
+	return OutcomeSDC
+}
+
+// classifyConverged classifies an experiment whose machine state
+// reconverged with the golden run at ladder rung r (StateMatches): the
+// continuation is a cycle-for-cycle golden replay ending in a normal
+// halt, so the final serial output and event counters are the current
+// values plus the golden remainder — no further simulation needed.
+// Serial-flood is no concern: if the composed output exceeded the
+// machine's serial cap it necessarily differs from the golden output,
+// and both the real run (ExcSerialLimit) and classifyHalted call that
+// SDC.
+func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *trace.Golden) Outcome {
+	serialLen, gdet, gcor := l.RungAccum(r)
+	serial := m.Serial()
+	if rest := golden.Serial[serialLen:]; len(rest) > 0 {
+		serial = append(serial[:len(serial):len(serial)], rest...)
+	}
+	detects := m.DetectCount() + (golden.Detects - gdet)
+	corrects := m.CorrectCount() + (golden.Corrects - gcor)
+	return classifyHalted(serial, detects, corrects, golden)
+}
+
+// runConverge finishes an injected experiment under the ladder
+// strategy: it advances the machine rung by rung, checking for
+// reconvergence with the golden state at each rung boundary; once the
+// state matches a rung, the outcome is composed from the golden trace
+// without simulating the remainder. A run that survives past the last
+// rung — it outlived the golden run, so it can only halt abnormally or
+// time out — is driven toward the cycle budget under loop detection,
+// which proves most Timeout verdicts as soon as the spin loop closes
+// instead of simulating the full budget. Neither shortcut changes any
+// outcome relative to rerun: reconvergence implies a golden
+// continuation, and state recurrence implies the budget is unreachable.
+func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, det *machine.LoopDetector) Outcome {
+	for r := l.Find(m.Cycles()) + 1; r < l.Rungs(); r++ {
+		if m.Run(l.RungCycle(r)) != machine.StatusRunning {
+			break
+		}
+		if l.StateMatches(m, r) {
+			return classifyConverged(m, l, r, golden)
+		}
+	}
+	if m.Status() == machine.StatusRunning && m.Cycles() < budget {
+		det.Reset()
+		det.RunDetectLoop(m, budget)
+	}
+	// A machine still running here either exhausted the budget or was
+	// proven to loop forever; classify calls both Timeout.
+	return classify(m, golden)
 }

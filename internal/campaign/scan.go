@@ -91,6 +91,8 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		scanErr = scanSnapshot(t, golden, fs, cfg, todo, res.Outcomes, m)
 	case StrategyRerun:
 		scanErr = scanRerun(t, golden, fs, cfg, todo, res.Outcomes, m)
+	case StrategyLadder:
+		scanErr = scanLadder(t, golden, fs, cfg, todo, res.Outcomes, m)
 	}
 	if scanErr != nil {
 		if errors.Is(scanErr, ErrInterrupted) {
@@ -161,10 +163,14 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
-	pioneer, err := t.newMachine()
+	var machines []*machine.Machine
+	defer func() { cfg.releaseMachines(machines) }()
+
+	pioneer, err := cfg.acquireMachine(t)
 	if err != nil {
 		return err
 	}
+	machines = append(machines, pioneer)
 
 	groups := make(chan slotGroup)
 	results := make(chan record, cfg.Workers*2)
@@ -172,12 +178,14 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		worker, err := t.newMachine()
+		worker, err := cfg.acquireMachine(t)
 		if err != nil {
 			close(groups)
+			wg.Wait()
 			close(results)
 			return err
 		}
+		machines = append(machines, worker)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -254,18 +262,23 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
+	var machines []*machine.Machine
+	defer func() { cfg.releaseMachines(machines) }()
+
 	work := make(chan int)
 	results := make(chan record, cfg.Workers*2)
 	errCh := make(chan error, 1)
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		worker, err := t.newMachine()
+		worker, err := cfg.acquireMachine(t)
 		if err != nil {
 			close(work)
+			wg.Wait()
 			close(results)
 			return err
 		}
+		machines = append(machines, worker)
 		reset := worker.Snapshot()
 		wg.Add(1)
 		go func() {
@@ -286,6 +299,114 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 					continue
 				}
 				results <- record{class: ci, outcome: o}
+			}
+		}()
+	}
+	collected := collector(results, out, m)
+
+	var ferr error
+feed:
+	for _, ci := range todo {
+		select {
+		case <-cfg.Interrupt:
+			ferr = ErrInterrupted
+			break feed
+		case ferr = <-errCh:
+			break feed
+		case work <- ci:
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+	<-collected
+	if ferr != nil {
+		return ferr
+	}
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
+// scanLadder executes experiments from delta snapshots of the golden
+// run: one golden replay captures a rung every cfg.ladderInterval
+// cycles, then each experiment restores the nearest rung at-or-below its
+// injection slot (a targeted dirty-page copy, see machine.Cursor) and
+// executes only the remaining delta. Unlike scanSnapshot there is no
+// slot-ordered feeder — any worker can serve any class from the shared
+// immutable ladder — which makes it equally fast for the arbitrary class
+// subsets cluster workers lease.
+func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter) error {
+	budget := cfg.timeoutBudget(golden.Cycles)
+	flip := flipFor(fs.Kind)
+
+	var machines []*machine.Machine
+	defer func() { cfg.releaseMachines(machines) }()
+
+	// Build the ladder with one golden replay. Rungs stop strictly below
+	// the final golden cycle: the latest state any experiment restores is
+	// slot-1 ≤ Δt-1, and the machine must still be running there.
+	pioneer, err := cfg.acquireMachine(t)
+	if err != nil {
+		return err
+	}
+	machines = append(machines, pioneer)
+	interval := cfg.ladderInterval(golden.Cycles)
+	ladder := machine.NewLadder(pioneer)
+	for next := interval; next < golden.Cycles; next += interval {
+		if st := pioneer.Run(next); st != machine.StatusRunning {
+			return fmt.Errorf("campaign: golden replay ended early at cycle %d (status %s)",
+				pioneer.Cycles(), st)
+		}
+		ladder.Capture(pioneer)
+	}
+
+	work := make(chan int)
+	results := make(chan record, cfg.Workers*2)
+	errCh := make(chan error, 1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		worker, err := cfg.acquireMachine(t)
+		if err != nil {
+			close(work)
+			wg.Wait()
+			close(results)
+			return err
+		}
+		machines = append(machines, worker)
+		cur := ladder.NewCursor(worker)
+		det := machine.NewLoopDetector(0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				select {
+				case <-cfg.Interrupt:
+					scanFail(&stop, errCh, ErrInterrupted)
+				default:
+				}
+				if stop.Load() {
+					continue
+				}
+				slot, bit := fs.Classes[ci].Slot(), fs.Classes[ci].Bit
+				cur.Restore(ladder.Find(slot - 1))
+				if worker.Cycles() < slot-1 {
+					if st := worker.Run(slot - 1); st != machine.StatusRunning {
+						scanFail(&stop, errCh, fmt.Errorf(
+							"campaign: golden replay ended early at cycle %d (status %s), slot %d",
+							worker.Cycles(), st, slot))
+						continue
+					}
+				}
+				if err := flip(worker, bit); err != nil {
+					scanFail(&stop, errCh, err)
+					continue
+				}
+				results <- record{class: ci, outcome: runConverge(worker, ladder, golden, budget, det)}
 			}
 		}()
 	}

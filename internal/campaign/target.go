@@ -31,6 +31,14 @@ const (
 	// StrategyRerun re-executes each experiment from the reset state. This
 	// is the naive mode, kept for validation and for the ablation benchmark.
 	StrategyRerun
+	// StrategyLadder captures delta snapshots ("rungs") of the golden run
+	// every LadderInterval cycles, then serves each experiment from the
+	// nearest rung at-or-below its injection slot: restore is a targeted
+	// dirty-page copy and only the remaining cycle delta is re-executed.
+	// Unlike StrategySnapshot it needs no feeder ordered by slot, so it is
+	// the strategy of choice for cluster workers running arbitrary class
+	// subsets (RunClasses).
+	StrategyLadder
 )
 
 // Config parameterizes campaign execution.
@@ -48,6 +56,20 @@ type Config struct {
 	Workers int
 	// Strategy selects the execution strategy. 0 means StrategySnapshot.
 	Strategy Strategy
+	// LadderInterval is the rung spacing in cycles for StrategyLadder:
+	// smaller intervals mean less delta re-execution per experiment but
+	// more snapshot memory. 0 auto-tunes from the golden-trace length
+	// (aiming at DefaultLadderRungs rungs, at least MinLadderInterval
+	// cycles apart). Ignored by the other strategies. Like Strategy, it
+	// is outcome-invariant and deliberately not part of the campaign
+	// identity hash.
+	LadderInterval uint64
+	// Pool, when non-nil, recycles worker machines across scans instead
+	// of allocating a fresh RAM image per worker per call. Cluster
+	// workers use one pool per campaign so that every leased work unit
+	// (one RunClasses call each) reuses the same machines. The pool must
+	// have been created by NewMachinePool for this same target.
+	Pool *MachinePool
 
 	// OnResult, when non-nil, receives every completed experiment in
 	// completion order. It is invoked from a single collector goroutine,
@@ -71,6 +93,16 @@ const (
 	DefaultTimeoutFactor    = 4.0
 	DefaultTimeoutSlack     = 256
 	DefaultProgressInterval = time.Second
+
+	// DefaultLadderRungs is the rung count the LadderInterval auto-tuner
+	// aims for: interval = goldenCycles / DefaultLadderRungs. With
+	// 256-byte pages and delta capture, 256 rungs keep snapshot memory
+	// modest while bounding delta re-execution to ~0.4% of the golden
+	// run per experiment.
+	DefaultLadderRungs = 256
+	// MinLadderInterval floors the auto-tuned rung spacing so very short
+	// golden runs do not snapshot after every other instruction.
+	MinLadderInterval = 16
 )
 
 func (c Config) withDefaults() Config {
@@ -99,10 +131,26 @@ func (c Config) validate() error {
 	if c.Workers < 1 {
 		return fmt.Errorf("campaign: Workers %d must be >= 1", c.Workers)
 	}
-	if c.Strategy != StrategySnapshot && c.Strategy != StrategyRerun {
+	switch c.Strategy {
+	case StrategySnapshot, StrategyRerun, StrategyLadder:
+	default:
 		return fmt.Errorf("campaign: unknown strategy %d", c.Strategy)
 	}
 	return nil
+}
+
+// ladderInterval returns the effective rung spacing for StrategyLadder:
+// the explicit LadderInterval, or an interval auto-tuned from the
+// golden-trace length.
+func (c Config) ladderInterval(goldenCycles uint64) uint64 {
+	if c.LadderInterval > 0 {
+		return c.LadderInterval
+	}
+	iv := goldenCycles / DefaultLadderRungs
+	if iv < MinLadderInterval {
+		iv = MinLadderInterval
+	}
+	return iv
 }
 
 // timeoutBudget computes the per-experiment cycle budget.

@@ -43,6 +43,10 @@ type WorkerOptions struct {
 	// snapshot). Deliberately free to differ from other workers — the
 	// strategy-equivalence invariant guarantees identical outcomes.
 	Strategy campaign.Strategy
+	// LadderInterval is the rung spacing for campaign.StrategyLadder
+	// (0 auto-tunes from the golden-trace length). Like Strategy, it is
+	// outcome-invariant and local to this worker.
+	LadderInterval uint64
 	// MaxRetries bounds consecutive failed attempts per request before
 	// the worker gives up (default 6).
 	MaxRetries int
@@ -151,11 +155,16 @@ func (w *worker) rebuild(spec Spec) error {
 		},
 	}
 	w.cfg = campaign.Config{
-		TimeoutFactor: spec.TimeoutFactor,
-		TimeoutSlack:  spec.TimeoutSlack,
-		Workers:       w.opts.Workers,
-		Strategy:      w.opts.Strategy,
-		Interrupt:     w.opts.Interrupt,
+		TimeoutFactor:  spec.TimeoutFactor,
+		TimeoutSlack:   spec.TimeoutSlack,
+		Workers:        w.opts.Workers,
+		Strategy:       w.opts.Strategy,
+		LadderInterval: w.opts.LadderInterval,
+		Interrupt:      w.opts.Interrupt,
+		// One pool for the whole campaign: every leased unit is one
+		// RunClasses call, and without the pool each of them would
+		// re-allocate every worker machine's RAM image.
+		Pool: campaign.NewMachinePool(w.target),
 	}
 	kind := pruning.SpaceKind(spec.SpaceKind)
 	g, fs, err := w.target.PrepareSpace(kind, spec.MaxGoldenCycles)

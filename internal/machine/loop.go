@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"bytes"
+
+	"faultspace/internal/isa"
+)
+
+// LoopProbeInterval is the default cycle spacing between loop-detector
+// probes. Each probe costs one full state comparison (O(RAM)), so the
+// spacing trades detection latency against probe overhead; any finite
+// loop is still detected regardless of how its period relates to the
+// spacing (see Probe).
+const LoopProbeInterval = 16
+
+// LoopDetector proves that a running machine can never halt, by exact
+// state recurrence: the machine is deterministic, so if its complete
+// behavior-relevant state — pc, registers, RAM, IRQ state, the clamped
+// distance to the next timer fire, and the serial output length —
+// recurs, execution from the two occurrences is identical modulo a time
+// shift and the machine loops forever. The campaign uses this to
+// classify Timeout experiments as soon as the loop closes instead of
+// simulating them to the full cycle budget; the verdict is independent
+// of the budget, so outcomes are unchanged.
+//
+// Detection uses Brent's algorithm over probes taken every `interval`
+// cycles: one anchored reference state is compared against the current
+// state at each probe, and the anchor is re-taken when the probe count
+// since the last anchor reaches a power of two. A loop of period L
+// recurs at probe granularity after lcm(interval, L) cycles, which the
+// doubling anchor window always ends up covering.
+//
+// The detect/correct counters are deliberately excluded from the state:
+// MMIO ports are write-only, so the counters never influence execution,
+// and Timeout classification ignores them. The serial LENGTH is
+// included: a "loop" that emits output grows the serial buffer and
+// eventually terminates with ExcSerialLimit, so it must not be declared
+// infinite.
+type LoopDetector struct {
+	interval uint64
+	probes   uint64 // probes since the last anchor
+	window   uint64 // probes until the next re-anchor (doubles)
+	anchored bool
+
+	refRegs   [isa.NumRegs]uint32
+	refPC     uint32
+	refInIRQ  bool
+	refSaved  uint32
+	refRel    uint64 // clamped fireAt − cycles at the anchor
+	refSerial int
+	refRAM    []byte
+}
+
+// NewLoopDetector creates a detector probing every interval cycles
+// (LoopProbeInterval if interval is 0). One detector serves one machine
+// at a time; call Reset between experiments.
+func NewLoopDetector(interval uint64) *LoopDetector {
+	if interval == 0 {
+		interval = LoopProbeInterval
+	}
+	return &LoopDetector{interval: interval, window: 1}
+}
+
+// Interval returns the probe spacing in cycles.
+func (d *LoopDetector) Interval() uint64 { return d.interval }
+
+// Reset discards the anchored reference so the detector can track a new
+// run. The RAM buffer is retained to avoid per-experiment allocation.
+func (d *LoopDetector) Reset() {
+	d.probes = 0
+	d.window = 1
+	d.anchored = false
+}
+
+// timerRel returns the behavior-relevant distance to the next timer
+// fire: an overdue timer fires at the next opportunity no matter how
+// overdue it is, so all "already due" states clamp to zero. With the
+// timer disabled the field is inert and reads as zero.
+func (m *Machine) timerRel() uint64 {
+	if m.cfg.TimerPeriod > 0 && m.fireAt > m.cycles {
+		return m.fireAt - m.cycles
+	}
+	return 0
+}
+
+// Probe compares the machine's state against the anchored reference and
+// reports true if it recurred — proof of an infinite loop. Otherwise it
+// advances Brent's window, re-anchoring when due. The machine must be
+// running.
+func (d *LoopDetector) Probe(m *Machine) bool {
+	rel := m.timerRel()
+	if d.anchored &&
+		m.pc == d.refPC &&
+		len(m.serial) == d.refSerial &&
+		m.inIRQ == d.refInIRQ &&
+		m.savedPC == d.refSaved &&
+		rel == d.refRel &&
+		m.regs == d.refRegs &&
+		bytes.Equal(m.ram, d.refRAM) {
+		return true
+	}
+	d.probes++
+	if d.probes >= d.window {
+		d.probes = 0
+		d.window *= 2
+		d.anchored = true
+		d.refRegs = m.regs
+		d.refPC = m.pc
+		d.refInIRQ = m.inIRQ
+		d.refSaved = m.savedPC
+		d.refRel = rel
+		d.refSerial = len(m.serial)
+		d.refRAM = append(d.refRAM[:0], m.ram...)
+	}
+	return false
+}
+
+// RunDetectLoop advances m to the absolute cycle target (like Run) in
+// probe-interval chunks, returning early with true as soon as the
+// detector proves the machine loops forever. It returns false when the
+// machine terminated or reached the target; in either case the machine
+// state is then identical to a plain Run(target).
+func (d *LoopDetector) RunDetectLoop(m *Machine, target uint64) bool {
+	for m.status == StatusRunning && m.cycles < target {
+		next := m.cycles + d.interval
+		if next > target {
+			next = target
+		}
+		if m.Run(next) != StatusRunning {
+			return false
+		}
+		if m.cycles == next && next < target && d.Probe(m) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"faultspace/internal/isa"
+)
+
+// TestLoopDetectorSpin: a data-free spin loop must be proven infinite
+// far before the cycle target.
+func TestLoopDetectorSpin(t *testing.T) {
+	m, err := New(Config{RAMSize: 64}, []isa.Instruction{
+		{Op: isa.OpNop},
+		{Op: isa.OpJmp, Imm: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewLoopDetector(0)
+	if !det.RunDetectLoop(m, 1<<20) {
+		t.Fatal("spin loop not detected")
+	}
+	if m.Status() != StatusRunning {
+		t.Fatalf("status %v, want still running", m.Status())
+	}
+	if m.Cycles() > 10*LoopProbeInterval {
+		t.Errorf("detection took %d cycles; want well under the target", m.Cycles())
+	}
+}
+
+// TestLoopDetectorCountingLoop: a loop whose RAM state changes each
+// iteration (a counter) must NOT be declared infinite, and the chunked
+// run must land in exactly the same state as a plain Run.
+func TestLoopDetectorCountingLoop(t *testing.T) {
+	// r1 counts up to 200 with the count mirrored into RAM, then halt.
+	prog := []isa.Instruction{
+		{Op: isa.OpAddi, Rd: 1, Rs: 1, Imm: 1},
+		{Op: isa.OpSb, Rt: 1, Rs: 0, Imm: 0},
+		{Op: isa.OpLi, Rd: 2, Imm: 200},
+		{Op: isa.OpBlt, Rs: 1, Rt: 2, Imm: 0},
+		{Op: isa.OpHalt},
+	}
+	m, err := New(Config{RAMSize: 16}, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(Config{RAMSize: 16}, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewLoopDetector(0)
+	if det.RunDetectLoop(m, 1<<20) {
+		t.Fatal("terminating counter loop declared infinite")
+	}
+	ref.Run(1 << 20)
+	if got, want := stateHash(m), stateHash(ref); got != want {
+		t.Fatal("chunked run diverged from plain Run")
+	}
+	if m.Status() != StatusHalted {
+		t.Fatalf("status %v, want halted", m.Status())
+	}
+}
+
+// TestLoopDetectorSerialLoop: a loop that emits serial output grows
+// observable state every iteration, so it must not be declared infinite
+// — it really terminates, with ExcSerialLimit.
+func TestLoopDetectorSerialLoop(t *testing.T) {
+	m, err := New(Config{RAMSize: 16, MaxSerial: 64}, []isa.Instruction{
+		{Op: isa.OpSbi, Rs: 0, Imm: int32(PortSerial), Imm2: 'x'},
+		{Op: isa.OpJmp, Imm: 0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewLoopDetector(0)
+	if det.RunDetectLoop(m, 1<<20) {
+		t.Fatal("serial-emitting loop declared infinite")
+	}
+	if m.Status() != StatusExcepted || m.Exception() != ExcSerialLimit {
+		t.Fatalf("got status %v exc %v, want serial-limit exception", m.Status(), m.Exception())
+	}
+}
+
+// TestLoopDetectorTimerLoop: a spin loop under a periodic timer IRQ has
+// a longer compound period (loop × timer), but the relative-fire-time
+// state still recurs and must be detected.
+func TestLoopDetectorTimerLoop(t *testing.T) {
+	m, err := New(Config{RAMSize: 16, TimerPeriod: 8, TimerVector: 1}, []isa.Instruction{
+		{Op: isa.OpJmp, Imm: 0}, // main: spin
+		{Op: isa.OpSret},        // handler: return, re-arming the timer
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewLoopDetector(0)
+	if !det.RunDetectLoop(m, 1<<20) {
+		t.Fatal("timer-interleaved spin loop not detected")
+	}
+	if m.Cycles() >= 1<<20 {
+		t.Error("detection did not beat the cycle target")
+	}
+}
+
+// TestLoopDetectorChunkedEqualsRun: for random halting programs the
+// detector-driven chunked execution must finish in exactly the state a
+// plain Run reaches, and must never claim an infinite loop.
+func TestLoopDetectorChunkedEqualsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ramSize := []int{16, 64, 256}[rng.Intn(3)]
+		prog := buildRandomProgram(rng, ramSize, 40)
+		m, err := New(Config{RAMSize: ramSize}, prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(Config{RAMSize: ramSize}, prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := NewLoopDetector(0)
+		if det.RunDetectLoop(m, 500) {
+			t.Fatalf("trial %d: straight-line program declared infinite", trial)
+		}
+		ref.Run(500)
+		if stateHash(m) != stateHash(ref) {
+			t.Fatalf("trial %d: chunked run diverged from plain Run", trial)
+		}
+		det.Reset()
+	}
+}

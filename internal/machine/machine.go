@@ -196,6 +196,11 @@ type Machine struct {
 	hook      MemHook
 	execHook  ExecHook
 
+	// dirty tracks RAM pages written since the last resetDirty, as a
+	// bitset over PageSize-byte pages. Ladder rung capture and Cursor
+	// restore use it to touch only mutated pages (see ladder.go).
+	dirty []uint64
+
 	// Timer-interrupt state.
 	inIRQ   bool
 	savedPC uint32
@@ -230,6 +235,7 @@ func New(cfg Config, prog []isa.Instruction, image []byte) (*Machine, error) {
 		status:    StatusRunning,
 		maxSerial: maxSerial,
 		fireAt:    cfg.TimerPeriod,
+		dirty:     make([]uint64, (numPages(cfg.RAMSize)+63)/64),
 	}
 	copy(m.ram, image)
 	return m, nil
@@ -304,6 +310,7 @@ func (m *Machine) FlipBit(bit uint64) error {
 		return fmt.Errorf("machine: bit %d outside RAM (%d bits)", bit, m.RAMBits())
 	}
 	m.ram[bit/8] ^= 1 << (bit % 8)
+	m.markDirty(uint32(bit / 8))
 	return nil
 }
 
@@ -569,6 +576,9 @@ func (m *Machine) storeWord(cycle uint64, addr uint32, v uint32) Exception {
 		m.ram[addr+1] = byte(v >> 8)
 		m.ram[addr+2] = byte(v >> 16)
 		m.ram[addr+3] = byte(v >> 24)
+		// PageSize is a multiple of 4 and the access is aligned, so the
+		// word lies within one page.
+		m.markDirty(addr)
 		return ExcNone
 	}
 	if addr >= MMIOBase {
@@ -583,6 +593,7 @@ func (m *Machine) storeByte(cycle uint64, addr uint32, v byte) Exception {
 			m.hook(cycle, addr, 1, AccessWrite)
 		}
 		m.ram[addr] = v
+		m.markDirty(addr)
 		return ExcNone
 	}
 	if addr >= MMIOBase {

@@ -48,6 +48,9 @@ func (m *Machine) Restore(s *Snapshot) {
 		panic("machine: Restore with mismatched RAM size")
 	}
 	copy(m.ram, s.ram)
+	// A full restore rewrites all of RAM; conservatively mark every page
+	// dirty so any Cursor attached to this machine stays correct.
+	m.markAllDirty()
 	m.regs = s.regs
 	m.pc = s.pc
 	m.cycles = s.cycles
@@ -81,8 +84,12 @@ func (m *Machine) Clone() *Machine {
 		inIRQ:     m.inIRQ,
 		savedPC:   m.savedPC,
 		fireAt:    m.fireAt,
+		dirty:     make([]uint64, len(m.dirty)),
 	}
 	copy(c.ram, m.ram)
 	copy(c.serial, m.serial)
+	// The clone has no delta-snapshot history; mark all pages dirty so a
+	// future Cursor on it never assumes a shared baseline.
+	c.markAllDirty()
 	return c
 }
