@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench
+.PHONY: check vet build test race fuzz-smoke bench bench-telemetry
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race fuzz-smoke
+check: vet build test race fuzz-smoke bench-telemetry
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,12 @@ fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzDeltaRestore -fuzztime=10s
+
+# A short run of the instrument-overhead benchmark: the disabled
+# (nil-registry) fast path must stay allocation-free, which -benchmem
+# makes visible; TestDisabledPathAllocFree enforces it in `test`.
+bench-telemetry:
+	$(GO) test ./internal/telemetry -run='^$$' -bench=BenchmarkTelemetryOverhead -benchtime=100x -benchmem
 
 bench:
 	$(GO) test -bench=. -benchmem

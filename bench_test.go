@@ -236,6 +236,10 @@ type scanBenchResult struct {
 	Strategy  string  `json:"strategy"`
 	Classes   int     `json:"classes"`
 	NsPerOp   float64 `json:"ns_per_op"`
+	// Counters holds the run's telemetry counters normalized per scan
+	// (experiments, strategy shortcuts, pool reuse), so the perf log also
+	// tracks *how* each strategy reached its timing.
+	Counters map[string]float64 `json:"counters_per_op,omitempty"`
 }
 
 var scanBench struct {
@@ -299,19 +303,28 @@ func BenchmarkFullScan(b *testing.B) {
 		}
 		for _, st := range strategies {
 			b.Run(bench.name+"/"+st.name, func(b *testing.B) {
+				// The scans run instrumented: telemetry is designed to be
+				// free (see BenchmarkTelemetryOverhead), and its counters
+				// land in BENCH_scan.json next to the timing they explain.
+				reg := faultspace.NewTelemetry()
 				classes := 0
 				for i := 0; i < b.N; i++ {
-					res, err := faultspace.Scan(p, faultspace.ScanOptions{Strategy: st.strat})
+					res, err := faultspace.Scan(p, faultspace.ScanOptions{Strategy: st.strat, Telemetry: reg})
 					if err != nil {
 						b.Fatal(err)
 					}
 					classes = len(res.Outcomes)
+				}
+				counters := make(map[string]float64)
+				for name, v := range reg.Snapshot().Counters {
+					counters[name] = float64(v) / float64(b.N)
 				}
 				r := scanBenchResult{
 					Benchmark: bench.name,
 					Strategy:  st.name,
 					Classes:   classes,
 					NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+					Counters:  counters,
 				}
 				// The framework re-runs each sub-benchmark while
 				// calibrating b.N; keep only the final (longest) run.

@@ -50,6 +50,10 @@ type ServeOptions struct {
 	// DrainTimeout bounds how long ServeScan waits after completion for
 	// workers to fetch their done notice and deregister (default 3s).
 	DrainTimeout time.Duration
+	// Pprof mounts net/http/pprof profiling endpoints under /debug/pprof/
+	// on the coordinator's HTTP handler. Off by default: profiling a
+	// public coordinator address is opt-in.
+	Pprof bool
 }
 
 // ServeScan runs a distributed full fault-space scan: it prepares the
@@ -108,8 +112,11 @@ func ServeScan(p *Program, addr string, opts ServeOptions) (*ScanResult, error) 
 		OnProgress:       opts.OnClusterProgress,
 		ProgressInterval: opts.ProgressInterval,
 		Interrupt:        opts.Interrupt,
+		Telemetry:        opts.Telemetry,
+		Pprof:            opts.Pprof,
 	}
 	if w != nil {
+		w.Instrument(opts.Telemetry)
 		copts.OnResult = func(ci int, o campaign.Outcome) { w.Append(ci, uint8(o)) }
 	}
 	coord, err := cluster.NewCoordinator(t, golden, fs, cfg, copts, prior)
@@ -193,6 +200,10 @@ type JoinOptions struct {
 	Interrupt <-chan struct{}
 	// Logf, when non-nil, receives worker life-cycle log lines.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, collects this worker's campaign metrics
+	// (experiments, outcome timings, machine-pool reuse). Outcome-
+	// invariant, exactly as in ScanOptions.
+	Telemetry *Telemetry
 }
 
 // JoinScan joins a coordinator started with ServeScan (or favscan
@@ -209,6 +220,7 @@ func JoinScan(addr string, opts JoinOptions) error {
 		LadderInterval: opts.LadderInterval,
 		Interrupt:      opts.Interrupt,
 		Logf:           opts.Logf,
+		Telemetry:      opts.Telemetry,
 	}
 	if wopts.Strategy == 0 && opts.Rerun {
 		wopts.Strategy = campaign.StrategyRerun

@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -76,6 +77,8 @@ func run(args []string, w, errW io.Writer) error {
 		ckpt     = fs.String("checkpoint", "", "stream completed experiments into this crash-safe checkpoint file")
 		resume   = fs.Bool("resume", false, "continue the campaign recorded in -checkpoint (skip completed classes)")
 		progress = fs.Bool("progress", false, "print live progress (classes done, exp/s, ETA) to stderr")
+		telem    = fs.String("telemetry", "", "write a JSON run manifest (identity, config, counters, timing) to this file on exit")
+		pprofFl  = fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints on the coordinator (requires -serve)")
 		binsemN  = fs.Int("binsem-rounds", 4, "bin_sem2 ping-pong rounds")
 		syncN    = fs.Int("sync-rounds", 3, "sync2 handshake rounds")
 		syncBuf  = fs.Int("sync-buf", 64, "sync2 message-buffer bytes")
@@ -114,6 +117,12 @@ func run(args []string, w, errW io.Writer) error {
 	if *serve != "" && (*sample > 0 || *loadFrom != "") {
 		return fmt.Errorf("-serve applies to full scans only (not -sample or -load)")
 	}
+	if *pprofFl && *serve == "" {
+		return fmt.Errorf("-pprof requires -serve")
+	}
+	if *telem != "" && (*sample > 0 || *loadFrom != "" || *join != "") {
+		return fmt.Errorf("-telemetry applies to full scans only (not -sample, -load or -join)")
+	}
 
 	if *join != "" {
 		if fs.NArg() != 0 {
@@ -132,8 +141,11 @@ func run(args []string, w, errW io.Writer) error {
 			jopts.Logf = func(format string, args ...any) {
 				fmt.Fprintf(errW, format+"\n", args...)
 			}
+			jopts.Telemetry = faultspace.NewTelemetry()
 		}
-		return faultspace.JoinScan(*join, jopts)
+		err := faultspace.JoinScan(*join, jopts)
+		printTelemetrySummary(errW, jopts.Telemetry)
+		return err
 	}
 
 	if *loadFrom != "" {
@@ -190,6 +202,18 @@ func run(args []string, w, errW io.Writer) error {
 	if *progress {
 		opts.OnProgress = progressPrinter(errW)
 	}
+	// One registry serves all three observability surfaces: the run
+	// manifest (-telemetry), the summary table (-progress) and, under
+	// -serve, the coordinator's /v1/status and /debug/telemetry
+	// endpoints. Telemetry never changes outcomes (invariant 10), so
+	// attaching it unconditionally here would be harmless — but keeping
+	// it nil unless asked for preserves the zero-overhead default.
+	var reg *faultspace.Telemetry
+	if *telem != "" || *progress {
+		reg = faultspace.NewTelemetry()
+		reg.EnableTrace(1024)
+		opts.Telemetry = reg
+	}
 
 	if *sample > 0 {
 		sr, err := faultspace.Sample(prog, faultspace.SampleOptions{
@@ -202,7 +226,35 @@ func run(args []string, w, errW io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return printSample(w, prog.Name, sr, *csv)
+		if err := printSample(w, prog.Name, sr, *csv); err != nil {
+			return err
+		}
+		printTelemetrySummary(errW, reg)
+		return nil
+	}
+
+	// The manifest is stamped before the scan so StartedAt covers the
+	// whole campaign, and written after it returns — the graceful SIGINT
+	// path resolves through the same code, so an interrupted run still
+	// leaves a (partial, marked Interrupted) manifest behind.
+	var manifest *faultspace.RunManifest
+	if *telem != "" {
+		id, err := faultspace.CampaignIdentity(prog, opts)
+		if err != nil {
+			return err
+		}
+		manifest = &faultspace.RunManifest{
+			Tool:      "favscan",
+			StartedAt: time.Now(),
+			Benchmark: prog.Name,
+			Identity:  fmt.Sprintf("%x", id),
+			Space:     spaceKind.String(),
+			Strategy:  strat.String(),
+			Workers:   *workers,
+		}
+		if manifest.Workers == 0 {
+			manifest.Workers = runtime.GOMAXPROCS(0)
+		}
 	}
 
 	if *ckpt != "" || *serve != "" {
@@ -233,6 +285,7 @@ func run(args []string, w, errW io.Writer) error {
 			ScanOptions: opts,
 			UnitSize:    *unitSize,
 			LeaseTTL:    *leaseTTL,
+			Pprof:       *pprofFl,
 			OnListen: func(addr string) {
 				fmt.Fprintf(errW, "favscan: serving campaign on %s\n", addr)
 			},
@@ -244,6 +297,21 @@ func run(args []string, w, errW io.Writer) error {
 		scan, err = faultspace.ServeScan(prog, *serve, sopts)
 	} else {
 		scan, err = faultspace.Scan(prog, opts)
+	}
+	if *progress {
+		printTelemetrySummary(errW, reg)
+	}
+	if manifest != nil {
+		if scan != nil {
+			manifest.Classes = len(scan.Space.Classes)
+		}
+		manifest.Interrupted = errors.Is(err, faultspace.ErrInterrupted)
+		manifest.Finish(reg)
+		if werr := manifest.WriteFile(*telem); werr != nil {
+			fmt.Fprintf(errW, "favscan: telemetry manifest: %v\n", werr)
+		} else {
+			fmt.Fprintf(errW, "favscan: run manifest written to %s\n", *telem)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, faultspace.ErrInterrupted) {
@@ -340,6 +408,38 @@ func clusterProgressPrinter(errW io.Writer) func(faultspace.ClusterProgress) {
 				ws.ID, ws.Experiments, ws.Rate, ws.Merged, ws.Outstanding)
 		}
 	}
+}
+
+// printTelemetrySummary renders the registry's final instrument snapshot
+// as a table on the progress stream (stderr), keeping stdout reports
+// byte-identical with and without telemetry. A nil registry prints
+// nothing.
+func printTelemetrySummary(errW io.Writer, reg *faultspace.Telemetry) {
+	snap := reg.Snapshot()
+	if len(snap.Counters) == 0 && len(snap.Gauges) == 0 && len(snap.Histograms) == 0 {
+		return
+	}
+	tbl := &report.Table{
+		Title:   "Telemetry",
+		Headers: []string{"metric", "value"},
+	}
+	for _, name := range snap.CounterNames() {
+		tbl.AddRow(name, snap.Counters[name])
+	}
+	for _, name := range snap.GaugeNames() {
+		tbl.AddRow(name, snap.Gauges[name])
+	}
+	for _, name := range snap.HistogramNames() {
+		h := snap.Histograms[name]
+		var mean time.Duration
+		if h.Count > 0 {
+			mean = time.Duration(h.SumNs / int64(h.Count))
+		}
+		tbl.AddRow(name, fmt.Sprintf("n=%d mean=%s max=%s",
+			h.Count, mean.Round(time.Microsecond), time.Duration(h.MaxNs).Round(time.Microsecond)))
+	}
+	fmt.Fprintln(errW)
+	tbl.Render(errW)
 }
 
 // progressPrinter renders the scan's progress stream as single lines on

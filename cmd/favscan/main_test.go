@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -251,6 +253,10 @@ func TestFlagValidationUpfront(t *testing.T) {
 		{[]string{"-serve", ":0", "-sample", "10", "hi"}, "full scans only"},
 		{[]string{"-join", "x:1", "hi"}, "no benchmark argument"},
 		{[]string{"-join", "x:1", "-checkpoint", "c.ckpt"}, "pure worker"},
+		{[]string{"-pprof", "hi"}, "requires -serve"},
+		{[]string{"-telemetry", "t.json", "-sample", "10", "hi"}, "full scans only"},
+		{[]string{"-telemetry", "t.json", "-load", "x.json"}, "full scans only"},
+		{[]string{"-telemetry", "t.json", "-join", "x:1"}, "full scans only"},
 	} {
 		err := run(tc.args, io.Discard, io.Discard)
 		if err == nil {
@@ -465,5 +471,146 @@ func TestScanErrors(t *testing.T) {
 	}
 	if err := run([]string{}, &sb, io.Discard); err == nil {
 		t.Error("missing argument must fail")
+	}
+}
+
+// TestTelemetryManifestLadder is the observability acceptance test: a
+// ladder scan with -telemetry must emit a valid JSON run manifest
+// carrying the campaign identity hash and non-zero strategy counters —
+// while leaving the stdout report byte-identical to an uninstrumented
+// run (invariant 10 at the CLI level).
+func TestTelemetryManifestLadder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	reference := runScan(t, "-strategy", "ladder", "hi")
+	instrumented := runScan(t, "-strategy", "ladder", "-telemetry", path, "hi")
+	if instrumented != reference {
+		t.Errorf("-telemetry changed the stdout report:\n--- with ---\n%s--- without ---\n%s",
+			instrumented, reference)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m faultspace.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, data)
+	}
+	if m.Tool != "favscan" || m.Benchmark != "hi/baseline" {
+		t.Errorf("manifest identification wrong: tool=%q benchmark=%q", m.Tool, m.Benchmark)
+	}
+	if m.Strategy != "ladder" || m.Space != "memory" {
+		t.Errorf("manifest config wrong: strategy=%q space=%q", m.Strategy, m.Space)
+	}
+	if len(m.Identity) != 64 {
+		t.Errorf("identity %q is not a hex SHA-256", m.Identity)
+	}
+	if _, err := hex.DecodeString(m.Identity); err != nil {
+		t.Errorf("identity %q is not hex: %v", m.Identity, err)
+	}
+	if m.Classes != 16 || m.Workers <= 0 || m.Interrupted {
+		t.Errorf("manifest campaign shape wrong: %+v", m)
+	}
+	if m.WallSeconds <= 0 {
+		t.Error("manifest must record wall time")
+	}
+	if got := m.Telemetry.Counters["scan.experiments"]; got != 16 {
+		t.Errorf("scan.experiments = %d, want 16", got)
+	}
+	if m.Telemetry.Counters["ladder.rung_restores"] == 0 {
+		t.Error("ladder.rung_restores must be non-zero on a ladder scan")
+	}
+	if m.Telemetry.Gauges["ladder.rungs"] <= 0 {
+		t.Error("ladder.rungs gauge must be positive on a ladder scan")
+	}
+	var timed uint64
+	for name, h := range m.Telemetry.Histograms {
+		if strings.HasPrefix(name, "scan.outcome.") {
+			timed += h.Count
+		}
+	}
+	if timed != 16 {
+		t.Errorf("outcome histograms hold %d observations, want 16", timed)
+	}
+
+	// The identity hash is strategy-invariant: a snapshot run of the same
+	// campaign must record the same identity.
+	path2 := filepath.Join(t.TempDir(), "run2.json")
+	runScan(t, "-telemetry", path2, "hi")
+	var m2 faultspace.RunManifest
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data2, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Identity != m.Identity {
+		t.Errorf("identity differs across strategies: %s vs %s", m.Identity, m2.Identity)
+	}
+	if m2.Strategy != "snapshot" {
+		t.Errorf("default strategy name = %q, want snapshot", m2.Strategy)
+	}
+	if m2.Telemetry.Counters["ladder.rung_restores"] != 0 || m2.Telemetry.Gauges["ladder.rungs"] != 0 {
+		t.Error("snapshot manifest must not carry ladder counters")
+	}
+}
+
+// TestTelemetrySummaryTable: -progress must append the human telemetry
+// summary to stderr, never stdout.
+func TestTelemetrySummaryTable(t *testing.T) {
+	var out, prog strings.Builder
+	if err := run([]string{"-progress", "hi"}, &out, &prog); err != nil {
+		t.Fatal(err)
+	}
+	p := prog.String()
+	if !strings.Contains(p, "Telemetry") || !strings.Contains(p, "scan.experiments") {
+		t.Errorf("stderr missing telemetry summary:\n%s", p)
+	}
+	if !strings.Contains(p, "scan.outcome.sdc") {
+		t.Errorf("summary missing outcome histogram row:\n%s", p)
+	}
+	if strings.Contains(out.String(), "scan.experiments") {
+		t.Error("telemetry summary leaked into the stdout report")
+	}
+}
+
+// TestTelemetryManifestCluster: a coordinator run with -telemetry folds
+// the cluster and checkpoint instruments into the same manifest.
+func TestTelemetryManifestCluster(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	ck := filepath.Join(dir, "c.ckpt")
+	serveWithWorkers(t, []string{
+		"-telemetry", path, "-checkpoint", ck, "-unit-size", "8", "-sort-elements", "8", "sort1",
+	}, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m faultspace.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Classes == 0 || m.Interrupted {
+		t.Errorf("cluster manifest shape wrong: %+v", m)
+	}
+	if m.Telemetry.Counters["cluster.leases_granted"] == 0 {
+		t.Error("cluster.leases_granted must be non-zero")
+	}
+	if got := int(m.Telemetry.Counters["cluster.submissions"]); got == 0 {
+		t.Errorf("cluster.submissions = %d, want non-zero", got)
+	}
+	if m.Telemetry.Counters["checkpoint.flushes"] == 0 || m.Telemetry.Counters["checkpoint.bytes"] == 0 {
+		t.Error("checkpoint writer instruments must be non-zero with -checkpoint")
+	}
+	var joined bool
+	for _, e := range m.Events {
+		if e.Name == "worker.joined" {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Errorf("manifest events missing worker.joined: %+v", m.Events)
 	}
 }

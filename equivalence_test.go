@@ -84,11 +84,24 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 				for _, tc := range []struct {
 					label string
 					opts  ScanOptions
+					tel   bool
 				}{
-					{"snapshot", ScanOptions{Space: space, Strategy: StrategySnapshot}},
-					{"ladder/auto", ScanOptions{Space: space, Strategy: StrategyLadder}},
-					{"ladder/7", ScanOptions{Space: space, Strategy: StrategyLadder, LadderInterval: 7}},
+					{"snapshot", ScanOptions{Space: space, Strategy: StrategySnapshot}, false},
+					{"ladder/auto", ScanOptions{Space: space, Strategy: StrategyLadder}, false},
+					{"ladder/7", ScanOptions{Space: space, Strategy: StrategyLadder, LadderInterval: 7}, false},
+					// Invariant 10: telemetry observes a campaign, never
+					// steers it — instrumented scans of every strategy must
+					// archive byte-identically to the uninstrumented rerun
+					// reference.
+					{"rerun+telemetry", ScanOptions{Space: space, Strategy: StrategyRerun}, true},
+					{"snapshot+telemetry", ScanOptions{Space: space, Strategy: StrategySnapshot}, true},
+					{"ladder/auto+telemetry", ScanOptions{Space: space, Strategy: StrategyLadder}, true},
 				} {
+					var reg *Telemetry
+					if tc.tel {
+						reg = NewTelemetry()
+						tc.opts.Telemetry = reg
+					}
 					label := fmt.Sprintf("%s %s vs rerun", space, tc.label)
 					got, err := Scan(prog, tc.opts)
 					if err != nil {
@@ -100,6 +113,12 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 					}
 					if !bytes.Equal(scanBytes(t, got), ref) {
 						t.Errorf("%s: archived reports are not byte-identical", label)
+					}
+					if tc.tel {
+						snap := reg.Snapshot()
+						if exp := snap.Counters["scan.experiments"]; exp != uint64(len(got.Space.Classes)) {
+							t.Errorf("%s: scan.experiments = %d, want %d", label, exp, len(got.Space.Classes))
+						}
 					}
 				}
 			}

@@ -43,6 +43,7 @@ import (
 	"faultspace/internal/checkpoint"
 	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
+	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
 )
 
@@ -101,6 +102,23 @@ const (
 // Progress is one event of a scan's progress stream; see ScanOptions.
 type Progress = campaign.Progress
 
+// Telemetry is a metrics and event-trace registry: named atomic
+// counters, gauges and duration histograms plus an optional bounded
+// ring-buffer event tracer. Attach one via ScanOptions.Telemetry (or
+// ServeOptions/JoinOptions) to observe a campaign; a nil registry
+// disables all instrumentation at zero cost. Telemetry never changes
+// scan results (DESIGN.md invariant 10).
+type Telemetry = telemetry.Registry
+
+// NewTelemetry creates an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// RunManifest is the machine-readable record of one campaign run:
+// campaign identity and configuration, wall/CPU timing, the final
+// counter snapshot and retained trace events. favscan -telemetry
+// writes one per run.
+type RunManifest = telemetry.Manifest
+
 // ErrInterrupted is returned by Scan when the campaign was stopped via
 // ScanOptions.Interrupt. All completed experiments have been flushed to
 // the checkpoint (if one is configured); rerun with Resume to continue.
@@ -154,6 +172,11 @@ type ScanOptions struct {
 	// in-flight experiments finish and are checkpointed, then Scan
 	// returns the partial result with ErrInterrupted.
 	Interrupt <-chan struct{}
+	// Telemetry, when non-nil, collects campaign metrics: experiment
+	// counts, per-outcome timing histograms, strategy shortcut counters
+	// and checkpoint I/O. Outcome-invariant (invariant 10) and excluded
+	// from the campaign identity hash, exactly like Strategy and Workers.
+	Telemetry *Telemetry
 }
 
 // DefaultMaxGoldenCycles bounds golden runs when ScanOptions leaves
@@ -169,6 +192,7 @@ func (o ScanOptions) campaignConfig() campaign.Config {
 		OnProgress:       o.OnProgress,
 		ProgressInterval: o.ProgressInterval,
 		Interrupt:        o.Interrupt,
+		Telemetry:        o.Telemetry,
 	}
 	if cfg.Strategy == 0 && o.Rerun {
 		cfg.Strategy = campaign.StrategyRerun
@@ -265,6 +289,7 @@ func scanCheckpointed(t campaign.Target, golden *Golden, fs *FaultSpace, cfg cam
 			return nil, fmt.Errorf("faultspace: %w (resume to continue an existing checkpoint)", err)
 		}
 	}
+	w.Instrument(cfg.Telemetry)
 	cfg.OnResult = func(ci int, o campaign.Outcome) { w.Append(ci, uint8(o)) }
 
 	res, scanErr := campaign.ResumeScan(t, golden, fs, cfg, prior)

@@ -63,14 +63,15 @@ func RunClasses(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		return completed, nil
 	}
 	out := make([]Outcome, len(fs.Classes))
+	st := newScanTel(cfg)
 	var scanErr error
 	switch cfg.Strategy {
 	case StrategySnapshot:
-		scanErr = scanSnapshot(t, golden, fs, cfg, todo, out, m)
+		scanErr = scanSnapshot(t, golden, fs, cfg, todo, out, m, st)
 	case StrategyRerun:
-		scanErr = scanRerun(t, golden, fs, cfg, todo, out, m)
+		scanErr = scanRerun(t, golden, fs, cfg, todo, out, m, st)
 	case StrategyLadder:
-		scanErr = scanLadder(t, golden, fs, cfg, todo, out, m)
+		scanErr = scanLadder(t, golden, fs, cfg, todo, out, m, st)
 	}
 	if scanErr != nil {
 		if errors.Is(scanErr, ErrInterrupted) {

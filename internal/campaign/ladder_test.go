@@ -7,6 +7,7 @@ import (
 
 	"faultspace/internal/isa"
 	"faultspace/internal/machine"
+	"faultspace/internal/telemetry"
 )
 
 // edgeTarget is built so its fault space exercises every ladder corner:
@@ -297,6 +298,42 @@ func TestMachinePoolReuse(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestMachinePoolCounters: an instrumented pool accounts every Get as
+// either a reuse or a fresh allocation.
+func TestMachinePoolCounters(t *testing.T) {
+	target := hiTarget(t)
+	pool := NewMachinePool(target)
+	reg := telemetry.New()
+	pool.Instrument(reg)
+	m1, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(m1)
+	pool.Put(m2)
+	if _, err := pool.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pool.alloc").Value(); got != 2 {
+		t.Errorf("pool.alloc = %d, want 2", got)
+	}
+	if got := reg.Counter("pool.reuse").Value(); got != 1 {
+		t.Errorf("pool.reuse = %d, want 1", got)
+	}
+	// Instrument with a nil registry detaches cleanly.
+	pool.Instrument(nil)
+	if _, err := pool.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pool.reuse").Value(); got != 1 {
+		t.Errorf("detached pool still counted: reuse = %d, want 1", got)
 	}
 }
 

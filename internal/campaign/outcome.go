@@ -68,6 +68,26 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("outcome(%d)", uint8(o))
 }
 
+var outcomeMetricNames = [NumOutcomes]string{
+	"no_effect",
+	"detected_corrected",
+	"sdc",
+	"timeout",
+	"cpu_exception",
+	"illegal_instruction",
+	"detected_unrecoverable",
+	"premature_halt",
+}
+
+// MetricName returns the outcome's snake_case identifier as used in
+// telemetry metric names (e.g. "scan.outcome.no_effect").
+func (o Outcome) MetricName() string {
+	if int(o) < NumOutcomes {
+		return outcomeMetricNames[o]
+	}
+	return fmt.Sprintf("outcome_%d", uint8(o))
+}
+
 // Benign reports whether the outcome has no externally visible effect.
 // Benign outcomes coalesce into "No Effect" and the remaining six into
 // "Failure" for the paper's two-way analysis (§II-D).
@@ -147,18 +167,24 @@ func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *tra
 // instead of simulating the full budget. Neither shortcut changes any
 // outcome relative to rerun: reconvergence implies a golden
 // continuation, and state recurrence implies the budget is unreachable.
-func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, det *machine.LoopDetector) Outcome {
+// st counts which shortcut, if any, settled the outcome (nil-safe).
+func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, det *machine.LoopDetector, st *scanTel) Outcome {
 	for r := l.Find(m.Cycles()) + 1; r < l.Rungs(); r++ {
 		if m.Run(l.RungCycle(r)) != machine.StatusRunning {
 			break
 		}
 		if l.StateMatches(m, r) {
+			if st != nil {
+				st.reconverged.Inc()
+			}
 			return classifyConverged(m, l, r, golden)
 		}
 	}
 	if m.Status() == machine.StatusRunning && m.Cycles() < budget {
 		det.Reset()
-		det.RunDetectLoop(m, budget)
+		if det.RunDetectLoop(m, budget) && st != nil {
+			st.loopProofs.Inc()
+		}
 	}
 	// A machine still running here either exhausted the budget or was
 	// proven to loop forever; classify calls both Timeout.

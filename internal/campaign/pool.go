@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"faultspace/internal/machine"
+	"faultspace/internal/telemetry"
 )
 
 // MachinePool recycles reset-state worker machines for one target.
@@ -25,12 +26,26 @@ type MachinePool struct {
 	mu    sync.Mutex
 	free  []*machine.Machine
 	reset *machine.Snapshot
+	// reuse/alloc count Get calls served from the pool vs. freshly
+	// allocated; nil (no-op) until Instrument attaches a registry.
+	reuse *telemetry.Counter
+	alloc *telemetry.Counter
 }
 
 // NewMachinePool creates an empty pool for the target. Machines are
 // allocated lazily by Get and kept indefinitely once Put back.
 func NewMachinePool(t Target) *MachinePool {
 	return &MachinePool{target: t}
+}
+
+// Instrument attaches pool-efficiency counters ("pool.reuse",
+// "pool.alloc") from the registry. Safe with a nil registry (counters
+// stay no-ops) and concurrently with Get/Put.
+func (p *MachinePool) Instrument(r *telemetry.Registry) {
+	p.mu.Lock()
+	p.reuse = r.Counter("pool.reuse")
+	p.alloc = r.Counter("pool.alloc")
+	p.mu.Unlock()
 }
 
 // Get returns a reset-state machine for the pool's target, reusing a
@@ -41,6 +56,7 @@ func (p *MachinePool) Get() (*machine.Machine, error) {
 		m := p.free[n-1]
 		p.free = p.free[:n-1]
 		reset := p.reset
+		p.reuse.Inc()
 		p.mu.Unlock()
 		// Recycled machines come back in an arbitrary post-experiment
 		// state; rewind to reset so callers see a fresh machine. (The
@@ -49,12 +65,14 @@ func (p *MachinePool) Get() (*machine.Machine, error) {
 		m.Restore(reset)
 		return m, nil
 	}
+	alloc := p.alloc
 	p.mu.Unlock()
 
 	m, err := p.target.newMachine()
 	if err != nil {
 		return nil, err
 	}
+	alloc.Inc()
 	p.mu.Lock()
 	if p.reset == nil {
 		// The reset state is deterministic, so the snapshot of any fresh

@@ -61,19 +61,20 @@ type meter struct {
 // newMeter seeds the meter with checkpoint-restored outcomes and emits
 // the initial progress event.
 func newMeter(cfg Config, total int, prior map[int]Outcome) *meter {
+	now := time.Now()
 	m := &meter{
 		onResult:   cfg.OnResult,
 		onProgress: cfg.OnProgress,
 		interval:   cfg.ProgressInterval,
 		total:      total,
 		done:       len(prior),
-		start:      time.Now(),
+		start:      now,
 	}
 	for _, o := range prior {
 		m.counts[o]++
 	}
 	if m.onProgress != nil {
-		m.emit(false)
+		m.emit(now, false)
 	}
 	return m
 }
@@ -86,26 +87,32 @@ func (m *meter) record(class int, o Outcome) {
 	if m.onResult != nil {
 		m.onResult(class, o)
 	}
-	if m.onProgress != nil && (m.interval < 0 || time.Since(m.lastEmit) >= m.interval) {
-		m.emit(false)
+	if m.onProgress != nil {
+		if now := time.Now(); m.interval < 0 || now.Sub(m.lastEmit) >= m.interval {
+			m.emit(now, false)
+		}
 	}
 }
 
 // finish emits the final progress event (idempotent).
 func (m *meter) finish() {
 	if m.onProgress != nil && !m.finished {
-		m.emit(true)
+		m.emit(time.Now(), true)
 	}
 	m.finished = true
 }
 
-func (m *meter) emit(final bool) {
+// emit builds and delivers one progress event. The single now reading
+// is the clock for everything — Elapsed (and hence Rate/ETA) and the
+// throttle timestamp lastEmit — so an event can never report an Elapsed
+// that disagrees with the instant its throttle window opened.
+func (m *meter) emit(now time.Time, final bool) {
 	p := Progress{
 		Done:    m.done,
 		Total:   m.total,
 		Session: m.session,
 		Counts:  m.counts,
-		Elapsed: time.Since(m.start),
+		Elapsed: now.Sub(m.start),
 		Final:   final,
 	}
 	if p.Elapsed > 0 && m.session > 0 {
@@ -114,6 +121,6 @@ func (m *meter) emit(final bool) {
 			p.ETA = time.Duration(float64(remaining) / p.Rate * float64(time.Second))
 		}
 	}
-	m.lastEmit = time.Now()
+	m.lastEmit = now
 	m.onProgress(p)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"faultspace/internal/pruning"
+	"faultspace/internal/telemetry"
 )
 
 // TestResumeScanMatchesFull feeds half of a completed scan back as prior
@@ -46,6 +47,80 @@ func TestResumeScanMatchesFull(t *testing.T) {
 	}
 	if res.Identity != full.Identity || res.Identity == ([32]byte{}) {
 		t.Error("resumed scan must carry the same non-zero campaign identity")
+	}
+}
+
+// TestResumeTelemetrySessionCounters pins the scoping of the two
+// progress domains across a checkpoint resume: telemetry counters are
+// session-scoped (a fresh registry on resume counts only the re-run
+// remainder), while the progress stream's cumulative campaign state
+// (Done, Counts) restores the checkpointed classes.
+func TestResumeTelemetrySessionCounters(t *testing.T) {
+	target := hiTarget(t)
+	golden, fs := prepare(t, target)
+
+	reg := telemetry.New()
+	full, err := FullScan(target, golden, fs, Config{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("scan.experiments").Value(); got != uint64(len(fs.Classes)) {
+		t.Fatalf("full scan ran %d experiments, want %d", got, len(fs.Classes))
+	}
+
+	prior := make(map[int]Outcome)
+	for i := 0; i < len(full.Outcomes); i += 2 {
+		prior[i] = full.Outcomes[i]
+	}
+	remainder := len(fs.Classes) - len(prior)
+
+	resumeReg := telemetry.New()
+	var finalP Progress
+	cfg := Config{
+		Telemetry:        resumeReg,
+		ProgressInterval: -1,
+		OnProgress: func(p Progress) {
+			if p.Final {
+				finalP = p
+			}
+		},
+	}
+	res, err := ResumeScan(target, golden, fs, cfg, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session counters reset: the resumed run counts only its own work.
+	if got := resumeReg.Counter("scan.experiments").Value(); got != uint64(remainder) {
+		t.Errorf("resumed scan.experiments = %d, want %d (the remainder only)", got, remainder)
+	}
+	snap := resumeReg.Snapshot()
+	var histSum uint64
+	for o := 0; o < NumOutcomes; o++ {
+		histSum += snap.Histograms["scan.outcome."+Outcome(o).MetricName()].Count
+	}
+	if histSum != uint64(remainder) {
+		t.Errorf("outcome histogram counts sum to %d, want %d", histSum, remainder)
+	}
+	// Cumulative campaign state restores: the final progress event covers
+	// the whole campaign, not just this session.
+	if finalP.Done != len(fs.Classes) || finalP.Total != len(fs.Classes) {
+		t.Errorf("final Done/Total = %d/%d, want %d/%d",
+			finalP.Done, finalP.Total, len(fs.Classes), len(fs.Classes))
+	}
+	if finalP.Session != remainder {
+		t.Errorf("final Session = %d, want %d", finalP.Session, remainder)
+	}
+	var countSum uint64
+	for _, c := range finalP.Counts {
+		countSum += c
+	}
+	if countSum != uint64(len(fs.Classes)) {
+		t.Errorf("final Counts sum to %d, want %d", countSum, len(fs.Classes))
+	}
+	for i := range full.Outcomes {
+		if res.Outcomes[i] != full.Outcomes[i] {
+			t.Fatalf("class %d: resumed=%v full=%v", i, res.Outcomes[i], full.Outcomes[i])
+		}
 	}
 }
 

@@ -85,14 +85,15 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 	if len(todo) == 0 {
 		return res, nil
 	}
+	st := newScanTel(cfg)
 	var scanErr error
 	switch cfg.Strategy {
 	case StrategySnapshot:
-		scanErr = scanSnapshot(t, golden, fs, cfg, todo, res.Outcomes, m)
+		scanErr = scanSnapshot(t, golden, fs, cfg, todo, res.Outcomes, m, st)
 	case StrategyRerun:
-		scanErr = scanRerun(t, golden, fs, cfg, todo, res.Outcomes, m)
+		scanErr = scanRerun(t, golden, fs, cfg, todo, res.Outcomes, m, st)
 	case StrategyLadder:
-		scanErr = scanLadder(t, golden, fs, cfg, todo, res.Outcomes, m)
+		scanErr = scanLadder(t, golden, fs, cfg, todo, res.Outcomes, m, st)
 	}
 	if scanErr != nil {
 		if errors.Is(scanErr, ErrInterrupted) {
@@ -159,7 +160,7 @@ func scanFail(stop *atomic.Bool, errCh chan<- error, err error) {
 	}
 }
 
-func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter) error {
+func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter, st *scanTel) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
@@ -202,13 +203,16 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 					if stop.Load() {
 						break
 					}
+					t0 := st.begin()
 					worker.Restore(g.snap)
 					if err := flip(worker, fs.Classes[ci].Bit); err != nil {
 						scanFail(&stop, errCh, err)
 						break
 					}
 					worker.Run(budget)
-					results <- record{class: ci, outcome: classify(worker, golden)}
+					o := classify(worker, golden)
+					st.experiment(o, t0)
+					results <- record{class: ci, outcome: o}
 				}
 			}
 		}()
@@ -258,7 +262,7 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 	return nil
 }
 
-func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter) error {
+func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter, st *scanTel) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
@@ -292,12 +296,14 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 				if stop.Load() {
 					continue
 				}
+				t0 := st.begin()
 				worker.Restore(reset)
 				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, flip)
 				if err != nil {
 					scanFail(&stop, errCh, err)
 					continue
 				}
+				st.experiment(o, t0)
 				results <- record{class: ci, outcome: o}
 			}
 		}()
@@ -339,7 +345,7 @@ feed:
 // slot-ordered feeder — any worker can serve any class from the shared
 // immutable ladder — which makes it equally fast for the arbitrary class
 // subsets cluster workers lease.
-func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter) error {
+func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter, st *scanTel) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
@@ -357,12 +363,13 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 	interval := cfg.ladderInterval(golden.Cycles)
 	ladder := machine.NewLadder(pioneer)
 	for next := interval; next < golden.Cycles; next += interval {
-		if st := pioneer.Run(next); st != machine.StatusRunning {
+		if status := pioneer.Run(next); status != machine.StatusRunning {
 			return fmt.Errorf("campaign: golden replay ended early at cycle %d (status %s)",
-				pioneer.Cycles(), st)
+				pioneer.Cycles(), status)
 		}
 		ladder.Capture(pioneer)
 	}
+	cfg.Telemetry.Gauge("ladder.rungs").Set(int64(ladder.Rungs()))
 
 	work := make(chan int)
 	results := make(chan record, cfg.Workers*2)
@@ -392,13 +399,17 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 				if stop.Load() {
 					continue
 				}
+				t0 := st.begin()
 				slot, bit := fs.Classes[ci].Slot(), fs.Classes[ci].Bit
 				cur.Restore(ladder.Find(slot - 1))
+				if st != nil {
+					st.rungRestores.Inc()
+				}
 				if worker.Cycles() < slot-1 {
-					if st := worker.Run(slot - 1); st != machine.StatusRunning {
+					if status := worker.Run(slot - 1); status != machine.StatusRunning {
 						scanFail(&stop, errCh, fmt.Errorf(
 							"campaign: golden replay ended early at cycle %d (status %s), slot %d",
-							worker.Cycles(), st, slot))
+							worker.Cycles(), status, slot))
 						continue
 					}
 				}
@@ -406,7 +417,9 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 					scanFail(&stop, errCh, err)
 					continue
 				}
-				results <- record{class: ci, outcome: runConverge(worker, ladder, golden, budget, det)}
+				o := runConverge(worker, ladder, golden, budget, det, st)
+				st.experiment(o, t0)
+				results <- record{class: ci, outcome: o}
 			}
 		}()
 	}

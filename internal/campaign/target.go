@@ -8,6 +8,7 @@ import (
 	"faultspace/internal/isa"
 	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
+	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
 )
 
@@ -41,6 +42,20 @@ const (
 	StrategyLadder
 )
 
+// String names the strategy as reports and run manifests spell it. The
+// zero value reads as the default it resolves to.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRerun:
+		return "rerun"
+	case StrategyLadder:
+		return "ladder"
+	case StrategySnapshot, 0:
+		return "snapshot"
+	}
+	return "unknown"
+}
+
 // Config parameterizes campaign execution.
 type Config struct {
 	// TimeoutFactor bounds experiment runtime: an experiment is declared a
@@ -64,6 +79,14 @@ type Config struct {
 	// is outcome-invariant and deliberately not part of the campaign
 	// identity hash.
 	LadderInterval uint64
+	// Telemetry, when non-nil, receives scan metrics: the experiment
+	// counter, per-outcome duration histograms and the strategy-specific
+	// shortcut counters (see DESIGN.md §4d for the metric names). Like
+	// Strategy and Workers it is outcome-invariant — telemetry observes a
+	// campaign, never steers it — and is therefore excluded from the
+	// campaign identity hash (invariant 10). nil disables all
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 	// Pool, when non-nil, recycles worker machines across scans instead
 	// of allocating a fresh RAM image per worker per call. Cluster
 	// workers use one pool per campaign so that every leased work unit

@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"time"
+
+	"faultspace/internal/telemetry"
+)
+
+// scanTel bundles the telemetry instruments of one scan run, resolved
+// once up front so the per-experiment hot path is a handful of atomic
+// adds without registry lookups. With telemetry disabled
+// (Config.Telemetry == nil) every instrument is nil and every method
+// no-ops without reading the clock — the zero-overhead fast path
+// invariant 10 builds on.
+type scanTel struct {
+	live        bool
+	experiments *telemetry.Counter
+	outcomes    [NumOutcomes]*telemetry.Histogram
+
+	// Ladder-strategy shortcut counters (nil under other strategies):
+	// rungRestores counts experiments served from a rung, reconverged
+	// counts runs whose outcome was composed from the golden trace after
+	// their state rejoined it, loopProofs counts Timeout verdicts proven
+	// by state recurrence instead of simulating the full budget.
+	rungRestores *telemetry.Counter
+	reconverged  *telemetry.Counter
+	loopProofs   *telemetry.Counter
+}
+
+// newScanTel resolves the scan instruments from the config's registry.
+// Call after withDefaults so cfg.Strategy is concrete.
+func newScanTel(cfg Config) *scanTel {
+	st := &scanTel{}
+	r := cfg.Telemetry
+	if r == nil {
+		return st
+	}
+	st.live = true
+	st.experiments = r.Counter("scan.experiments")
+	for o := 0; o < NumOutcomes; o++ {
+		st.outcomes[o] = r.Histogram("scan.outcome." + Outcome(o).MetricName())
+	}
+	if cfg.Strategy == StrategyLadder {
+		st.rungRestores = r.Counter("ladder.rung_restores")
+		st.reconverged = r.Counter("ladder.reconverged")
+		st.loopProofs = r.Counter("ladder.loop_proofs")
+	}
+	return st
+}
+
+// begin stamps the start of one experiment. Disabled telemetry skips
+// the clock read entirely and returns the zero time.
+func (st *scanTel) begin() time.Time {
+	if st == nil || !st.live {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// experiment accounts one completed experiment and its duration in the
+// per-outcome histogram.
+func (st *scanTel) experiment(o Outcome, t0 time.Time) {
+	if st == nil || !st.live {
+		return
+	}
+	st.experiments.Inc()
+	st.outcomes[o].Observe(time.Since(t0))
+}

@@ -42,6 +42,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"time"
+
+	"faultspace/internal/telemetry"
 )
 
 // Version is the checkpoint format version written by this package.
@@ -234,6 +237,21 @@ type Writer struct {
 	// the crash-loss window at the cost of more fsyncs.
 	FlushEvery int
 	err        error
+
+	// Telemetry instruments, nil (no-op) until Instrument is called.
+	flushes *telemetry.Counter
+	bytes   *telemetry.Counter
+	fsync   *telemetry.Histogram
+}
+
+// Instrument attaches checkpoint I/O metrics from the registry:
+// "checkpoint.flushes" and "checkpoint.bytes" count frame flushes and
+// bytes written, "checkpoint.fsync" is the fsync latency histogram.
+// Safe with a nil registry (the instruments stay no-ops).
+func (w *Writer) Instrument(r *telemetry.Registry) {
+	w.flushes = r.Counter("checkpoint.flushes")
+	w.bytes = r.Counter("checkpoint.bytes")
+	w.fsync = r.Histogram("checkpoint.fsync")
 }
 
 // Create starts a fresh checkpoint at path. It refuses to overwrite an
@@ -335,10 +353,19 @@ func (w *Writer) flush() error {
 		w.err = fmt.Errorf("checkpoint: %w", err)
 		return w.err
 	}
+	var t0 time.Time
+	if w.fsync != nil {
+		t0 = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		w.err = fmt.Errorf("checkpoint: %w", err)
 		return w.err
 	}
+	if w.fsync != nil {
+		w.fsync.Observe(time.Since(t0))
+	}
+	w.flushes.Inc()
+	w.bytes.Add(uint64(len(frame)))
 	w.buf = w.buf[:0]
 	w.pending = 0
 	return nil

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"faultspace/internal/telemetry"
 )
 
 func testHeader() Header {
@@ -316,5 +318,46 @@ func TestLargeCampaignManyFlushes(t *testing.T) {
 	}
 	if len(got) < 9000 {
 		t.Fatalf("loaded %d distinct records", len(got))
+	}
+}
+
+// TestWriterTelemetry: an instrumented writer accounts every flush, the
+// exact frame bytes written and an fsync timing sample per flush.
+func TestWriterTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	w.Instrument(reg)
+	w.FlushEvery = 2
+	writeRecords(t, w, []Entry{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	if err := w.Close(); err != nil { // flushes the odd record out
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["checkpoint.flushes"]; got != 3 {
+		t.Errorf("checkpoint.flushes = %d, want 3 (2+2+1 records)", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerBytes := int64(len(magic) + frameHdrLen + headerLen)
+	if got := s.Counters["checkpoint.bytes"]; int64(got) != fi.Size()-headerBytes {
+		t.Errorf("checkpoint.bytes = %d, want %d (file size minus header)", got, fi.Size()-headerBytes)
+	}
+	if got := s.Histograms["checkpoint.fsync"].Count; got != 3 {
+		t.Errorf("checkpoint.fsync samples = %d, want 3", got)
+	}
+	// Uninstrumented writers keep working (nil-instrument fast path).
+	w2, err := Create(filepath.Join(t.TempDir(), "d.ckpt"), testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRecords(t, w2, []Entry{{5, 1}})
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"faultspace/internal/campaign"
 	"faultspace/internal/isa"
 	"faultspace/internal/pruning"
+	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
 )
 
@@ -40,6 +42,15 @@ type Options struct {
 	// Interrupt, when closed, stops the campaign: leases stop being
 	// granted, Wait returns the partial result with ErrInterrupted.
 	Interrupt <-chan struct{}
+	// Telemetry, when non-nil, receives cluster metrics (lease grants and
+	// expiries, submissions, duplicate submits, heartbeats and their gap
+	// histogram; see DESIGN.md §4d) and enables the /debug/telemetry
+	// endpoint on Handler(). Purely observational: it never changes what
+	// the coordinator computes.
+	Telemetry *telemetry.Registry
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
+	// Handler() — opt-in, for live profiling of a long cluster scan.
+	Pprof bool
 }
 
 // Defaults for Options.
@@ -61,18 +72,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// WorkerStat is one worker's slice of a cluster Progress event.
+// WorkerStat is one worker's slice of a cluster Progress event. The
+// JSON field names are the /v1/status wire contract.
 type WorkerStat struct {
-	ID string
+	ID string `json:"id"`
 	// Experiments counts entries this worker submitted, including
 	// re-executions of reassigned units — the work it actually performed.
-	Experiments int
+	Experiments int `json:"experiments"`
 	// Merged counts the outcomes this worker contributed first.
-	Merged int
-	// Rate is Experiments per second since the worker joined.
-	Rate float64
+	Merged int `json:"merged"`
+	// Rate is Experiments per second since the worker joined — the
+	// worker's session rate.
+	Rate float64 `json:"expPerSec"`
 	// Outstanding is the number of units the worker currently holds.
-	Outstanding int
+	Outstanding int `json:"outstanding"`
 }
 
 // Progress is one event of a distributed campaign's progress stream: the
@@ -112,6 +125,9 @@ type workerInfo struct {
 	outstanding int
 	joined      time.Time
 	left        bool
+	// lastHeartbeat feeds the cluster.heartbeat_gap histogram: the time
+	// between a worker's consecutive heartbeats. Zero until the first one.
+	lastHeartbeat time.Time
 }
 
 // Coordinator shards a campaign into leased work units and merges the
@@ -143,6 +159,16 @@ type Coordinator struct {
 	interrupted bool
 	sealed      bool
 	finished    chan struct{}
+
+	// Telemetry instruments, resolved once in NewCoordinator; all nil
+	// (no-op) when Options.Telemetry is nil.
+	telGranted    *telemetry.Counter
+	telExpired    *telemetry.Counter
+	telSubmits    *telemetry.Counter
+	telDuplicates *telemetry.Counter
+	telHeartbeats *telemetry.Counter
+	telWorkers    *telemetry.Gauge
+	telGap        *telemetry.Histogram
 }
 
 // NewCoordinator builds a coordinator for the campaign. prior holds
@@ -177,6 +203,14 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 		start:    time.Now(),
 		finished: make(chan struct{}),
 	}
+	reg := opts.Telemetry
+	c.telGranted = reg.Counter("cluster.leases_granted")
+	c.telExpired = reg.Counter("cluster.leases_expired")
+	c.telSubmits = reg.Counter("cluster.submissions")
+	c.telDuplicates = reg.Counter("cluster.duplicate_submits")
+	c.telHeartbeats = reg.Counter("cluster.heartbeats")
+	c.telWorkers = reg.Gauge("cluster.active_workers")
+	c.telGap = reg.Histogram("cluster.heartbeat_gap")
 	c.spec = EncodeSpec(Spec{
 		Proto:           ProtoVersion,
 		Identity:        id,
@@ -239,7 +273,12 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 // Identity returns the campaign identity hash the coordinator admits.
 func (c *Coordinator) Identity() [32]byte { return c.identity }
 
-// Handler returns the coordinator's HTTP handler.
+// Handler returns the coordinator's HTTP handler. With
+// Options.Telemetry set it additionally serves /debug/telemetry (the
+// live instrument snapshot plus retained trace events as JSON), and
+// with Options.Pprof the standard net/http/pprof endpoints under
+// /debug/pprof/ — both are observability side doors and never touch
+// campaign state.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/handshake", c.handleHandshake)
@@ -248,6 +287,16 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("/v1/leave", c.handleLeave)
 	mux.HandleFunc("/v1/status", c.handleStatus)
+	if c.opts.Telemetry != nil {
+		mux.HandleFunc("/debug/telemetry", c.handleTelemetry)
+	}
+	if c.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -392,6 +441,8 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			c.leased++
 			c.workers[q.WorkerID].outstanding++
 			resp = WorkUnit{Status: UnitGranted, ID: u.id, Token: u.token, Classes: u.classes}
+			c.telGranted.Inc()
+			c.opts.Telemetry.Tracef("lease.granted", "unit %d (%d classes) to %s", u.id, len(u.classes), q.WorkerID)
 		}
 	}
 	c.mu.Unlock()
@@ -410,6 +461,8 @@ func (c *Coordinator) reclaimExpiredLocked() {
 			if wi := c.workers[u.owner]; wi != nil && wi.outstanding > 0 {
 				wi.outstanding--
 			}
+			c.telExpired.Inc()
+			c.opts.Telemetry.Tracef("lease.expired", "unit %d reclaimed from %s", u.id, u.owner)
 			u.owner = ""
 			c.pending = append(c.pending, u)
 			c.reassigned++
@@ -459,11 +512,13 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	wi := c.touchLocked(s.WorkerID)
 	wi.experiments += len(s.Entries)
+	c.telSubmits.Inc()
 	// Idempotent merge: outcomes are deterministic, so the first record
 	// for a class is as good as any duplicate — including submissions
 	// under a stale lease token after a reassignment.
 	for _, e := range s.Entries {
 		if c.have[e.Class] {
+			c.telDuplicates.Inc()
 			continue
 		}
 		o := campaign.Outcome(e.Outcome)
@@ -524,12 +579,18 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.mu.Lock()
-	c.touchLocked(h.WorkerID)
+	wi := c.touchLocked(h.WorkerID)
+	c.telHeartbeats.Inc()
+	now := time.Now()
+	if !wi.lastHeartbeat.IsZero() {
+		c.telGap.Observe(now.Sub(wi.lastHeartbeat))
+	}
+	wi.lastHeartbeat = now
 	for _, id := range h.Units {
 		if id < uint64(len(c.units)) {
 			u := c.units[id]
 			if u.state == unitLeased && u.owner == h.WorkerID {
-				u.deadline = time.Now().Add(c.opts.LeaseTTL)
+				u.deadline = now.Add(c.opts.LeaseTTL)
 			}
 		}
 	}
@@ -552,6 +613,10 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	if wi := c.workers[q.WorkerID]; wi != nil {
+		if !wi.left {
+			c.telWorkers.Add(-1)
+			c.opts.Telemetry.Tracef("worker.left", "%s", q.WorkerID)
+		}
 		wi.left = true
 		// Return whatever the worker still holds without waiting for the
 		// lease to expire; a voluntary return is not a reassignment.
@@ -571,8 +636,7 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	p := c.Snapshot()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
+	resp := struct {
 		Name          string  `json:"name"`
 		Space         string  `json:"space"`
 		Done          int     `json:"done"`
@@ -581,13 +645,42 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Rate          float64 `json:"expPerSec"`
 		Leases        int     `json:"outstandingLeases"`
 		Reassignments int     `json:"reassignments"`
-		Workers       []WorkerStat
+		// Workers carries each worker's session statistics, including its
+		// experiments-per-second session rate.
+		Workers []WorkerStat `json:"workers"`
+		// Telemetry is the coordinator's live instrument snapshot; absent
+		// when the coordinator runs without a registry.
+		Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 	}{
 		Name: c.target.Name, Space: c.space.Kind.String(),
 		Done: p.Done, Total: p.Total, Failures: p.Failures(),
 		Rate: p.Rate, Leases: p.OutstandingLeases,
 		Reassignments: p.Reassignments, Workers: p.Workers,
-	})
+	}
+	if c.opts.Telemetry != nil {
+		snap := c.opts.Telemetry.Snapshot()
+		resp.Telemetry = &snap
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleTelemetry serves the full registry snapshot plus the retained
+// trace events — the /debug/telemetry endpoint (only mounted when a
+// registry is configured).
+func (c *Coordinator) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	reg := c.opts.Telemetry
+	resp := struct {
+		Telemetry     telemetry.Snapshot `json:"telemetry"`
+		Events        []telemetry.Event  `json:"events,omitempty"`
+		EventsDropped uint64             `json:"events_dropped,omitempty"`
+	}{Telemetry: reg.Snapshot()}
+	if tr := reg.Tracer(); tr != nil {
+		resp.Events = tr.Events()
+		resp.EventsDropped = tr.Dropped()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // --- progress ------------------------------------------------------------
@@ -597,6 +690,12 @@ func (c *Coordinator) touchLocked(workerID string) *workerInfo {
 	if wi == nil {
 		wi = &workerInfo{id: workerID, joined: time.Now()}
 		c.workers[workerID] = wi
+		c.telWorkers.Add(1)
+		c.opts.Telemetry.Tracef("worker.joined", "%s", workerID)
+	} else if wi.left {
+		// A worker that left and came back counts as active again.
+		c.telWorkers.Add(1)
+		c.opts.Telemetry.Tracef("worker.joined", "%s (rejoined)", workerID)
 	}
 	wi.left = false
 	return wi

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faultspace/internal/campaign"
+	"faultspace/internal/telemetry"
+)
+
+// statusDoc mirrors the /v1/status JSON contract under test.
+type statusDoc struct {
+	Name    string `json:"name"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+	Workers []struct {
+		ID          string  `json:"id"`
+		Experiments int     `json:"experiments"`
+		Merged      int     `json:"merged"`
+		Rate        float64 `json:"expPerSec"`
+	} `json:"workers"`
+	Telemetry *telemetry.Snapshot `json:"telemetry"`
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// TestStatusAndTelemetryEndpoints runs a real loopback cluster with
+// telemetry enabled and exercises the observability surface over HTTP:
+// /v1/status must carry the instrument snapshot and per-worker session
+// rates, /debug/telemetry the snapshot plus trace events, and the
+// opt-in pprof mux must answer.
+func TestStatusAndTelemetryEndpoints(t *testing.T) {
+	tgt, golden, fs := testCampaign(t, "bin_sem2")
+	reg := telemetry.New()
+	reg.EnableTrace(256)
+	coord, err := NewCoordinator(tgt, golden, fs, campaign.Config{}, Options{
+		UnitSize:        16,
+		MaxGoldenCycles: testMaxGolden,
+		Telemetry:       reg,
+		Pprof:           true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	wreg := telemetry.New()
+	werr := make(chan error, 1)
+	go func() {
+		werr <- Join(srv.URL, WorkerOptions{ID: "w1", Workers: 2, Telemetry: wreg})
+	}()
+	if _, err := coord.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatal(err)
+	}
+
+	var st statusDoc
+	getJSON(t, srv.URL+"/v1/status", &st)
+	if st.Done != len(fs.Classes) || st.Total != len(fs.Classes) {
+		t.Errorf("status done/total = %d/%d, want %d/%d", st.Done, st.Total, len(fs.Classes), len(fs.Classes))
+	}
+	if len(st.Workers) != 1 || st.Workers[0].ID != "w1" {
+		t.Fatalf("status workers = %+v, want exactly w1", st.Workers)
+	}
+	if w := st.Workers[0]; w.Experiments < len(fs.Classes) || w.Rate <= 0 {
+		t.Errorf("worker session stats wrong: %+v (want >= %d experiments, positive rate)", w, len(fs.Classes))
+	}
+	if st.Telemetry == nil {
+		t.Fatal("status must embed the telemetry snapshot when a registry is configured")
+	}
+	if got := st.Telemetry.Counters["cluster.leases_granted"]; got == 0 {
+		t.Error("cluster.leases_granted must be non-zero after a completed campaign")
+	}
+	if got := st.Telemetry.Counters["cluster.submissions"]; got == 0 {
+		t.Error("cluster.submissions must be non-zero after a completed campaign")
+	}
+
+	var dbg struct {
+		Telemetry telemetry.Snapshot `json:"telemetry"`
+		Events    []telemetry.Event  `json:"events"`
+	}
+	getJSON(t, srv.URL+"/debug/telemetry", &dbg)
+	if dbg.Telemetry.Counters["cluster.leases_granted"] == 0 {
+		t.Error("/debug/telemetry must serve the registry counters")
+	}
+	var joined, granted bool
+	for _, e := range dbg.Events {
+		switch e.Name {
+		case "worker.joined":
+			joined = true
+		case "lease.granted":
+			granted = true
+		}
+	}
+	if !joined || !granted {
+		t.Errorf("trace events missing (joined=%v granted=%v): %+v", joined, granted, dbg.Events)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint: HTTP %d, want 200", resp.StatusCode)
+	}
+
+	// The worker's own registry saw the campaign through the campaign
+	// engine: every class ran exactly once, on pooled machines.
+	if got := wreg.Counter("scan.experiments").Value(); got != uint64(len(fs.Classes)) {
+		t.Errorf("worker scan.experiments = %d, want %d", got, len(fs.Classes))
+	}
+	if wreg.Counter("pool.alloc").Value() == 0 {
+		t.Error("pool.alloc must be non-zero")
+	}
+	if len(fs.Classes) > 16 && wreg.Counter("pool.reuse").Value() == 0 {
+		t.Error("pool.reuse must be non-zero across multiple units")
+	}
+}
+
+// TestDebugEndpointsOffByDefault: without a registry and without Pprof,
+// the debug surface must not exist.
+func TestDebugEndpointsOffByDefault(t *testing.T) {
+	tgt, golden, fs := testCampaign(t, "bin_sem2")
+	coord, err := NewCoordinator(tgt, golden, fs, campaign.Config{}, Options{
+		MaxGoldenCycles: testMaxGolden,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/telemetry", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: HTTP %d, want 404", path, resp.StatusCode)
+		}
+	}
+	var st statusDoc
+	getJSON(t, srv.URL+"/v1/status", &st)
+	if st.Telemetry != nil {
+		t.Error("status must omit the telemetry snapshot when no registry is configured")
+	}
+}

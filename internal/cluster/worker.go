@@ -16,6 +16,7 @@ import (
 	"faultspace/internal/isa"
 	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
+	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
 )
 
@@ -61,6 +62,10 @@ type WorkerOptions struct {
 	// without submitting or deregistering, exactly like a crash. The
 	// lease-expiry path of the coordinator must absorb it.
 	Interrupt <-chan struct{}
+	// Telemetry, when non-nil, instruments the worker's campaign engine
+	// (scan counters, outcome histograms, machine-pool reuse) across all
+	// the units it runs. Session-scoped and local to this worker.
+	Telemetry *telemetry.Registry
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
 	// Logf, when non-nil, receives worker life-cycle log lines.
@@ -154,6 +159,11 @@ func (w *worker) rebuild(spec Spec) error {
 			TimerVector: spec.TimerVector,
 		},
 	}
+	// One pool for the whole campaign: every leased unit is one
+	// RunClasses call, and without the pool each of them would
+	// re-allocate every worker machine's RAM image.
+	pool := campaign.NewMachinePool(w.target)
+	pool.Instrument(w.opts.Telemetry)
 	w.cfg = campaign.Config{
 		TimeoutFactor:  spec.TimeoutFactor,
 		TimeoutSlack:   spec.TimeoutSlack,
@@ -161,10 +171,8 @@ func (w *worker) rebuild(spec Spec) error {
 		Strategy:       w.opts.Strategy,
 		LadderInterval: w.opts.LadderInterval,
 		Interrupt:      w.opts.Interrupt,
-		// One pool for the whole campaign: every leased unit is one
-		// RunClasses call, and without the pool each of them would
-		// re-allocate every worker machine's RAM image.
-		Pool: campaign.NewMachinePool(w.target),
+		Telemetry:      w.opts.Telemetry,
+		Pool:           pool,
 	}
 	kind := pruning.SpaceKind(spec.SpaceKind)
 	g, fs, err := w.target.PrepareSpace(kind, spec.MaxGoldenCycles)

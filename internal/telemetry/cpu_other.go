@@ -1,0 +1,6 @@
+//go:build !unix
+
+package telemetry
+
+// cpuTimes is unavailable without rusage; the manifest reports zeros.
+func cpuTimes() (user, system float64) { return 0, 0 }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// cpuTimes returns the process's user and system CPU seconds consumed
+// so far (self, all threads).
+func cpuTimes() (user, system float64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	toSecs := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return toSecs(ru.Utime), toSecs(ru.Stime)
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the tracer ring buffer when EnableTrace is
+// called with capacity 0.
+const DefaultTraceCapacity = 1024
+
+// Event is one traced campaign event. Events are ordered by Seq, which
+// counts every Emit since the tracer was created — a gap between the
+// first retained event's Seq and 1 tells the reader how many older
+// events the ring evicted.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Name   string    `json:"event"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of campaign events. Once full, new
+// events evict the oldest — a long campaign keeps its most recent
+// history at a fixed memory cost instead of growing without bound. A
+// nil *Tracer is a no-op. Safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event // ring storage, len == cap once full
+	cap     int
+	next    int    // ring write position
+	seq     uint64 // total events ever emitted
+	wrapped bool
+}
+
+// NewTracer creates a tracer retaining at most capacity events
+// (DefaultTraceCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Emit records one event with the current time.
+func (t *Tracer) Emit(name, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.seq++
+	e := Event{Seq: t.seq, Time: now, Name: name, Detail: detail}
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.wrapped = true
+	}
+	t.next = (t.next + 1) % t.cap
+	t.mu.Unlock()
+}
+
+// Emitf is Emit with a formatted detail string. The formatting cost is
+// only paid when the tracer is live.
+func (t *Tracer) Emitf(name, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Emit(name, fmt.Sprintf(format, args...))
+}
+
+// Dropped returns how many events the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq - uint64(len(t.buf))
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, e := range t.Events() {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableTrace attaches a ring-buffer tracer of the given capacity
+// (DefaultTraceCapacity when <= 0) to the registry, replacing any
+// previous one. No-op on a nil registry.
+func (r *Registry) EnableTrace(capacity int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracer = NewTracer(capacity)
+	r.mu.Unlock()
+}
+
+// Tracer returns the attached tracer, or nil when tracing is off (or
+// the registry is nil) — and a nil Tracer swallows Emit calls, so
+// callers chain freely: reg.Tracer().Emit(...).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// Trace emits one event on the attached tracer, if any.
+func (r *Registry) Trace(name, detail string) {
+	r.Tracer().Emit(name, detail)
+}
+
+// Tracef is Trace with a formatted detail string.
+func (r *Registry) Tracef(name, format string, args ...any) {
+	r.Tracer().Emitf(name, format, args...)
+}
