@@ -20,13 +20,17 @@ race:
 # A short deterministic-corpus + 10s randomized smoke of the attack
 # surfaces: the two binary decoders exposed to untrusted bytes
 # (corrupted checkpoint files and mutated cluster wire frames must
-# error, never panic), and the ladder delta-restore engine (random
+# error, never panic), the ladder delta-restore engine (random
 # programs + random restore/flip/run sequences must reproduce full-
-# snapshot state bit-for-bit).
+# snapshot state bit-for-bit), and the predecode fast path under
+# self-modifying stores and code-region bit flips (the pre-decoded
+# dispatch stream must stay lockstep-identical to the plain decoder
+# through precise invalidation).
 fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzDeltaRestore -fuzztime=10s
+	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzPredecodeSelfModify -fuzztime=10s
 
 # A short run of the instrument-overhead benchmark: the disabled
 # (nil-registry) fast path must stay allocation-free, which -benchmem

@@ -289,12 +289,22 @@ func BenchmarkFullScan(b *testing.B) {
 		{"sync2", progs.Sync2(scanBenchSizes.SyncRounds, scanBenchSizes.SyncBufBytes)},
 	}
 	strategies := []struct {
-		name  string
-		strat faultspace.Strategy
+		name      string
+		strat     faultspace.Strategy
+		predecode bool
+		memo      bool
 	}{
-		{"snapshot", faultspace.StrategySnapshot},
-		{"rerun", faultspace.StrategyRerun},
-		{"ladder", faultspace.StrategyLadder},
+		// The plain trio tracks the historical baselines; the +pre and
+		// +pre+memo variants quantify the accelerator layers on top. Their
+		// memo.hits / memo.misses / predecode.invalidations counters land
+		// in BENCH_scan.json alongside the timings they explain.
+		{"snapshot", faultspace.StrategySnapshot, false, false},
+		{"rerun", faultspace.StrategyRerun, false, false},
+		{"ladder", faultspace.StrategyLadder, false, false},
+		{"snapshot+pre", faultspace.StrategySnapshot, true, false},
+		{"ladder+pre", faultspace.StrategyLadder, true, false},
+		{"snapshot+pre+memo", faultspace.StrategySnapshot, true, true},
+		{"ladder+pre+memo", faultspace.StrategyLadder, true, true},
 	}
 	for _, bench := range benches {
 		p, err := bench.spec.Baseline()
@@ -309,7 +319,12 @@ func BenchmarkFullScan(b *testing.B) {
 				reg := faultspace.NewTelemetry()
 				classes := 0
 				for i := 0; i < b.N; i++ {
-					res, err := faultspace.Scan(p, faultspace.ScanOptions{Strategy: st.strat, Telemetry: reg})
+					res, err := faultspace.Scan(p, faultspace.ScanOptions{
+						Strategy:  st.strat,
+						Predecode: st.predecode,
+						Memo:      st.memo,
+						Telemetry: reg,
+					})
 					if err != nil {
 						b.Fatal(err)
 					}

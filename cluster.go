@@ -194,6 +194,13 @@ type JoinOptions struct {
 	// LadderInterval is the rung spacing for StrategyLadder (0 auto-
 	// tunes from the golden-trace length).
 	LadderInterval uint64
+	// Predecode enables the simulator's pre-decoded dispatch stream on
+	// this worker's machines. Outcome-invariant and local to this worker.
+	Predecode bool
+	// Memo enables cross-experiment outcome memoization, with one cache
+	// per campaign shared across all units this worker leases.
+	// Outcome-invariant and local to this worker.
+	Memo bool
 	// Interrupt, when closed, makes the worker die abruptly mid-unit
 	// without submitting — the crash the coordinator's lease expiry must
 	// absorb.
@@ -218,6 +225,8 @@ func JoinScan(addr string, opts JoinOptions) error {
 		Workers:        opts.Workers,
 		Strategy:       opts.Strategy,
 		LadderInterval: opts.LadderInterval,
+		Predecode:      opts.Predecode,
+		Memo:           opts.Memo,
 		Interrupt:      opts.Interrupt,
 		Logf:           opts.Logf,
 		Telemetry:      opts.Telemetry,

@@ -63,6 +63,8 @@ func run(args []string, w, errW io.Writer) error {
 		rerun    = fs.Bool("rerun", false, "use the rerun-from-start strategy instead of snapshot forking")
 		strategy = fs.String("strategy", "", "experiment strategy: snapshot, rerun or ladder (default snapshot)")
 		ladderIv = fs.Uint64("ladder-interval", 0, "rung spacing in cycles for -strategy ladder (0 = auto-tune)")
+		predec   = fs.Bool("predecode", true, "execute via the pre-decoded dispatch stream (outcome-invariant; -predecode=false for the plain decoder)")
+		memo     = fs.Bool("memo", false, "memoize experiment remainders across the campaign (outcome-invariant, invariant 11)")
 		space    = fs.String("space", "memory", "fault space: memory or registers (§VI-B)")
 		workers  = fs.Int("workers", 0, "parallel experiment executors (0 = GOMAXPROCS)")
 		serve    = fs.String("serve", "", "coordinate a distributed scan: serve work units on this address")
@@ -136,6 +138,8 @@ func run(args []string, w, errW io.Writer) error {
 			Workers:        *workers,
 			Strategy:       strat,
 			LadderInterval: *ladderIv,
+			Predecode:      *predec,
+			Memo:           *memo,
 		}
 		if *progress {
 			jopts.Logf = func(format string, args ...any) {
@@ -197,6 +201,8 @@ func run(args []string, w, errW io.Writer) error {
 		Workers:        *workers,
 		Strategy:       strat,
 		LadderInterval: *ladderIv,
+		Predecode:      *predec,
+		Memo:           *memo,
 		Space:          spaceKind,
 	}
 	if *progress {

@@ -66,12 +66,22 @@ func scanBytes(t *testing.T, res *ScanResult) []byte {
 }
 
 // TestStrategyEquivalenceAllBenchmarks is the differential strategy-
-// equivalence matrix (DESIGN.md invariant 9): for every bundled
-// benchmark × every fault-space kind × every execution strategy, the
-// archived scan result must be byte-identical to the naive rerun
-// reference. This is the invariant that justifies excluding Strategy
-// (and LadderInterval) from the campaign identity hash.
+// equivalence matrix (DESIGN.md invariants 9 and 11): for every bundled
+// benchmark × every fault-space kind, the full
+// {snapshot, rerun, ladder} × {predecode on/off} × {memo on/off} grid —
+// plus telemetry-instrumented variants — must archive byte-identically
+// to the naive plain-decoder rerun reference. This is the invariant
+// that justifies excluding Strategy, LadderInterval, Predecode and Memo
+// from the campaign identity hash.
 func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
+	strategies := []struct {
+		name string
+		s    Strategy
+	}{
+		{"snapshot", StrategySnapshot},
+		{"rerun", StrategyRerun},
+		{"ladder/auto", StrategyLadder},
+	}
 	for _, name := range progs.Names() {
 		t.Run(name, func(t *testing.T) {
 			prog := equivProgram(t, name)
@@ -81,22 +91,46 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 					t.Fatal(err)
 				}
 				ref := scanBytes(t, rerun)
-				for _, tc := range []struct {
+				type tcase struct {
 					label string
 					opts  ScanOptions
 					tel   bool
-				}{
-					{"snapshot", ScanOptions{Space: space, Strategy: StrategySnapshot}, false},
-					{"ladder/auto", ScanOptions{Space: space, Strategy: StrategyLadder}, false},
-					{"ladder/7", ScanOptions{Space: space, Strategy: StrategyLadder, LadderInterval: 7}, false},
-					// Invariant 10: telemetry observes a campaign, never
-					// steers it — instrumented scans of every strategy must
-					// archive byte-identically to the uninstrumented rerun
-					// reference.
-					{"rerun+telemetry", ScanOptions{Space: space, Strategy: StrategyRerun}, true},
-					{"snapshot+telemetry", ScanOptions{Space: space, Strategy: StrategySnapshot}, true},
-					{"ladder/auto+telemetry", ScanOptions{Space: space, Strategy: StrategyLadder}, true},
-				} {
+				}
+				var cases []tcase
+				// The full accelerator grid: every strategy with every
+				// combination of the pre-decoded dispatch stream and the
+				// cross-experiment memo cache (invariant 11).
+				for _, strat := range strategies {
+					for _, pre := range []bool{false, true} {
+						for _, memo := range []bool{false, true} {
+							cases = append(cases, tcase{
+								label: fmt.Sprintf("%s/pre=%t/memo=%t", strat.name, pre, memo),
+								opts: ScanOptions{Space: space, Strategy: strat.s,
+									Predecode: pre, Memo: memo},
+							})
+						}
+					}
+				}
+				// An explicit ladder interval shifts both rung and memo
+				// boundaries; outcomes must not care.
+				cases = append(cases, tcase{
+					label: "ladder/7/pre=true/memo=true",
+					opts: ScanOptions{Space: space, Strategy: StrategyLadder,
+						LadderInterval: 7, Predecode: true, Memo: true},
+				})
+				// Invariant 10: telemetry observes a campaign, never steers
+				// it — instrumented scans of every strategy, with both
+				// accelerators on, must archive byte-identically to the
+				// uninstrumented plain rerun reference.
+				for _, strat := range strategies {
+					cases = append(cases, tcase{
+						label: strat.name + "/pre=true/memo=true+telemetry",
+						opts: ScanOptions{Space: space, Strategy: strat.s,
+							Predecode: true, Memo: true},
+						tel: true,
+					})
+				}
+				for _, tc := range cases {
 					var reg *Telemetry
 					if tc.tel {
 						reg = NewTelemetry()

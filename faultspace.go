@@ -144,6 +144,17 @@ type ScanOptions struct {
 	// 0 auto-tunes from the golden-trace length. Smaller intervals trade
 	// snapshot memory for less delta re-execution per experiment.
 	LadderInterval uint64
+	// Predecode enables the simulator's pre-decoded dispatch stream: the
+	// program is lowered once per worker machine into a dense instruction
+	// stream executed by a tight chunked loop. Outcome-invariant — the
+	// fast path is proven Step-equivalent — so like Strategy it never
+	// changes scan results and is excluded from the campaign identity.
+	Predecode bool
+	// Memo enables cross-experiment outcome memoization: post-injection
+	// machine states are hashed at rung-interval boundaries and the
+	// remainder of each run is shared across all experiments of the
+	// campaign. Outcome-invariant (DESIGN.md invariant 11).
+	Memo bool
 	// MaxGoldenCycles bounds the golden run (default 1<<22).
 	MaxGoldenCycles uint64
 	// Space selects the fault space (default SpaceMemory).
@@ -189,6 +200,8 @@ func (o ScanOptions) campaignConfig() campaign.Config {
 		Workers:          o.Workers,
 		Strategy:         o.Strategy,
 		LadderInterval:   o.LadderInterval,
+		Predecode:        o.Predecode,
+		Memo:             o.Memo,
 		OnProgress:       o.OnProgress,
 		ProgressInterval: o.ProgressInterval,
 		Interrupt:        o.Interrupt,

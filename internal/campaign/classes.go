@@ -33,6 +33,18 @@ func RunClasses(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.memoEnabled() {
+		if cfg.MemoCache == nil {
+			cfg.MemoCache = NewMemoCache()
+		}
+		id, err := t.CampaignIdentity(fs.Kind, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: identity: %w", err)
+		}
+		if err := cfg.MemoCache.bind(id, cfg.timeoutBudget(golden.Cycles)); err != nil {
+			return nil, err
+		}
+	}
 	todo := append([]int(nil), classes...)
 	// The snapshot feeder walks classes in (Slot, Bit) order, which is the
 	// class-index order of a pruned fault space.
@@ -72,6 +84,9 @@ func RunClasses(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		scanErr = scanRerun(t, golden, fs, cfg, todo, out, m, st)
 	case StrategyLadder:
 		scanErr = scanLadder(t, golden, fs, cfg, todo, out, m, st)
+	}
+	if cfg.MemoCache != nil {
+		cfg.Telemetry.Gauge("memo.entries").Set(int64(cfg.MemoCache.Len()))
 	}
 	if scanErr != nil {
 		if errors.Is(scanErr, ErrInterrupted) {

@@ -97,13 +97,24 @@ func (o Outcome) Benign() bool {
 
 // classify maps a finished experiment machine to an outcome.
 func classify(m *machine.Machine, golden *trace.Golden) Outcome {
-	switch m.Status() {
+	return composeOutcome(m.Status(), m.Exception(), m.SerialView(), nil,
+		m.DetectCount(), m.CorrectCount(), golden)
+}
+
+// composeOutcome classifies a finished run from its terminal status and
+// observables, with the serial output split into an observed prefix and
+// a (possibly empty) composed suffix — so a memoized remainder can be
+// classified against the golden run without concatenating the two
+// parts. It is the single source of truth for the status → outcome
+// mapping; classify and the memo hit path are both thin wrappers.
+func composeOutcome(status machine.Status, exc machine.Exception, serial, suffix []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
+	switch status {
 	case machine.StatusRunning:
 		return OutcomeTimeout
 	case machine.StatusAborted:
 		return OutcomeDetectedUnrecoverable
 	case machine.StatusExcepted:
-		switch m.Exception() {
+		switch exc {
 		case machine.ExcIllegalOp, machine.ExcBadPC:
 			return OutcomeIllegalInstruction
 		case machine.ExcSerialLimit:
@@ -114,7 +125,7 @@ func classify(m *machine.Machine, golden *trace.Golden) Outcome {
 			return OutcomeCPUException
 		}
 	case machine.StatusHalted:
-		return classifyHalted(m.Serial(), m.DetectCount(), m.CorrectCount(), golden)
+		return classifyHaltedParts(serial, suffix, detects, corrects, golden)
 	default:
 		// Unreachable with a correct machine; classify conservatively.
 		return OutcomeSDC
@@ -124,13 +135,25 @@ func classify(m *machine.Machine, golden *trace.Golden) Outcome {
 // classifyHalted classifies a run that halted normally with the given
 // final serial output and event counters.
 func classifyHalted(serial []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
-	if bytes.Equal(serial, golden.Serial) {
-		if corrects > golden.Corrects || detects > golden.Detects {
-			return OutcomeDetectedCorrected
+	return classifyHaltedParts(serial, nil, detects, corrects, golden)
+}
+
+// classifyHaltedParts is classifyHalted over a serial output given as
+// prefix + suffix, compared without concatenation: the run's output is
+// the golden output / a strict prefix of it / something else exactly
+// when the two parts line up against the corresponding golden slices.
+func classifyHaltedParts(prefix, suffix []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
+	g := golden.Serial
+	n := len(prefix) + len(suffix)
+	if len(prefix) <= len(g) && n <= len(g) &&
+		bytes.Equal(prefix, g[:len(prefix)]) &&
+		bytes.Equal(suffix, g[len(prefix):n]) {
+		if n == len(g) {
+			if corrects > golden.Corrects || detects > golden.Detects {
+				return OutcomeDetectedCorrected
+			}
+			return OutcomeNoEffect
 		}
-		return OutcomeNoEffect
-	}
-	if len(serial) < len(golden.Serial) && bytes.HasPrefix(golden.Serial, serial) {
 		return OutcomePrematureHalt
 	}
 	return OutcomeSDC
@@ -167,8 +190,20 @@ func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *tra
 // instead of simulating the full budget. Neither shortcut changes any
 // outcome relative to rerun: reconvergence implies a golden
 // continuation, and state recurrence implies the budget is unreachable.
+//
+// A non-nil mr adds the cross-experiment shortcut at the same rung
+// boundaries: states that do NOT match the golden rung are probed
+// against the memo cache — a hit composes the outcome from another
+// experiment's cached remainder — and however the run ends (golden
+// reconvergence, memo hit, or natural finish), entries are back-filled
+// for every missed probe so later experiments funneling through the
+// same states skip straight to the outcome.
+//
 // st counts which shortcut, if any, settled the outcome (nil-safe).
-func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, det *machine.LoopDetector, st *scanTel) Outcome {
+func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, det *machine.LoopDetector, mr *memoRun, st *scanTel) Outcome {
+	if mr != nil {
+		mr.reset()
+	}
 	for r := l.Find(m.Cycles()) + 1; r < l.Rungs(); r++ {
 		if m.Run(l.RungCycle(r)) != machine.StatusRunning {
 			break
@@ -177,7 +212,23 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 			if st != nil {
 				st.reconverged.Inc()
 			}
-			return classifyConverged(m, l, r, golden)
+			o := classifyConverged(m, l, r, golden)
+			if mr != nil {
+				// The continuation from here is the golden remainder:
+				// a normal halt emitting the traced serial/counter tail.
+				serialLen, gdet, gcor := l.RungAccum(r)
+				mr.populateComposed(m, machine.StatusHalted, machine.ExcNone,
+					golden.Serial[serialLen:], golden.Detects-gdet, golden.Corrects-gcor)
+			}
+			return o
+		}
+		if mr != nil && !mr.exhausted() {
+			if e, hit := mr.probe(m); hit {
+				o := composeOutcome(e.status, e.exc, m.SerialView(), e.serial,
+					m.DetectCount()+e.detects, m.CorrectCount()+e.corrects, golden)
+				mr.populateComposed(m, e.status, e.exc, e.serial, e.detects, e.corrects)
+				return o
+			}
 		}
 	}
 	if m.Status() == machine.StatusRunning && m.Cycles() < budget {
@@ -188,5 +239,9 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 	}
 	// A machine still running here either exhausted the budget or was
 	// proven to loop forever; classify calls both Timeout.
-	return classify(m, golden)
+	o := classify(m, golden)
+	if mr != nil {
+		mr.populate(m)
+	}
+	return o
 }

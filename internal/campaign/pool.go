@@ -103,8 +103,20 @@ func (p *MachinePool) matches(t Target) bool {
 }
 
 // acquireMachine hands the scan strategies their worker machines: from
-// the configured pool if one is set, freshly allocated otherwise.
+// the configured pool if one is set, freshly allocated otherwise. The
+// predecode setting is applied explicitly either way — pooled machines
+// carry their previous scan's setting, so "off" must be set, not just
+// assumed (SetPredecode is idempotent, so re-enabling is free).
 func (c Config) acquireMachine(t Target) (*machine.Machine, error) {
+	m, err := c.pooledMachine(t)
+	if err != nil {
+		return nil, err
+	}
+	m.SetPredecode(c.Predecode)
+	return m, nil
+}
+
+func (c Config) pooledMachine(t Target) (*machine.Machine, error) {
 	if c.Pool == nil {
 		return t.newMachine()
 	}

@@ -64,6 +64,18 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 	}
 	res.Identity = id
 
+	if cfg.memoEnabled() {
+		if cfg.MemoCache == nil {
+			// Memo without an explicit shared cache gets a private one:
+			// entries are still shared across all experiments (and
+			// workers) of this scan, just not across calls.
+			cfg.MemoCache = NewMemoCache()
+		}
+		if err := cfg.MemoCache.bind(id, cfg.timeoutBudget(golden.Cycles)); err != nil {
+			return nil, err
+		}
+	}
+
 	for ci, o := range prior {
 		if ci < 0 || ci >= len(fs.Classes) {
 			return nil, fmt.Errorf("campaign: resume class index %d outside [0, %d)", ci, len(fs.Classes))
@@ -94,6 +106,9 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		scanErr = scanRerun(t, golden, fs, cfg, todo, res.Outcomes, m, st)
 	case StrategyLadder:
 		scanErr = scanLadder(t, golden, fs, cfg, todo, res.Outcomes, m, st)
+	}
+	if cfg.MemoCache != nil {
+		cfg.Telemetry.Gauge("memo.entries").Set(int64(cfg.MemoCache.Len()))
 	}
 	if scanErr != nil {
 		if errors.Is(scanErr, ErrInterrupted) {
@@ -162,10 +177,11 @@ func scanFail(stop *atomic.Bool, errCh chan<- error, err error) {
 
 func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter, st *scanTel) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
+	interval := cfg.ladderInterval(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
 	var machines []*machine.Machine
-	defer func() { cfg.releaseMachines(machines) }()
+	defer func() { st.addInvalidations(machines); cfg.releaseMachines(machines) }()
 
 	pioneer, err := cfg.acquireMachine(t)
 	if err != nil {
@@ -187,6 +203,10 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 			return err
 		}
 		machines = append(machines, worker)
+		var mr *memoRun
+		if cfg.memoEnabled() {
+			mr = newMemoRun(cfg.MemoCache, st)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -209,8 +229,7 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 						scanFail(&stop, errCh, err)
 						break
 					}
-					worker.Run(budget)
-					o := classify(worker, golden)
+					o := memoTail(worker, golden, budget, interval, mr)
 					st.experiment(o, t0)
 					results <- record{class: ci, outcome: o}
 				}
@@ -264,10 +283,11 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 
 func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config, todo []int, out []Outcome, m *meter, st *scanTel) error {
 	budget := cfg.timeoutBudget(golden.Cycles)
+	interval := cfg.ladderInterval(golden.Cycles)
 	flip := flipFor(fs.Kind)
 
 	var machines []*machine.Machine
-	defer func() { cfg.releaseMachines(machines) }()
+	defer func() { st.addInvalidations(machines); cfg.releaseMachines(machines) }()
 
 	work := make(chan int)
 	results := make(chan record, cfg.Workers*2)
@@ -284,6 +304,10 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 		}
 		machines = append(machines, worker)
 		reset := worker.Snapshot()
+		var mr *memoRun
+		if cfg.memoEnabled() {
+			mr = newMemoRun(cfg.MemoCache, st)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -298,7 +322,7 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 				}
 				t0 := st.begin()
 				worker.Restore(reset)
-				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, flip)
+				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, interval, flip, mr)
 				if err != nil {
 					scanFail(&stop, errCh, err)
 					continue
@@ -350,7 +374,7 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 	flip := flipFor(fs.Kind)
 
 	var machines []*machine.Machine
-	defer func() { cfg.releaseMachines(machines) }()
+	defer func() { st.addInvalidations(machines); cfg.releaseMachines(machines) }()
 
 	// Build the ladder with one golden replay. Rungs stop strictly below
 	// the final golden cycle: the latest state any experiment restores is
@@ -387,6 +411,10 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		machines = append(machines, worker)
 		cur := ladder.NewCursor(worker)
 		det := machine.NewLoopDetector(0)
+		var mr *memoRun
+		if cfg.memoEnabled() {
+			mr = newMemoRun(cfg.MemoCache, st)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -417,7 +445,7 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 					scanFail(&stop, errCh, err)
 					continue
 				}
-				o := runConverge(worker, ladder, golden, budget, det, st)
+				o := runConverge(worker, ladder, golden, budget, det, mr, st)
 				st.experiment(o, t0)
 				results <- record{class: ci, outcome: o}
 			}
@@ -454,8 +482,10 @@ feed:
 
 // runFromReset drives a reset-state machine through one experiment:
 // replay the golden prefix to just before `slot`, inject via flip at
-// `bit`, run to termination (or the cycle budget) and classify.
-func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget uint64, flip flipFunc) (Outcome, error) {
+// `bit`, run to termination (or the cycle budget) and classify. A
+// non-nil mr memoizes the post-injection remainder at interval
+// boundaries (see memoTail); nil runs the experiment out plainly.
+func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget, interval uint64, flip flipFunc, mr *memoRun) (Outcome, error) {
 	if slot > 0 {
 		if st := m.Run(slot - 1); slot-1 > 0 && st != machine.StatusRunning {
 			return 0, fmt.Errorf("campaign: golden replay ended early at cycle %d (status %s), slot %d",
@@ -465,8 +495,7 @@ func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget ui
 	if err := flip(m, bit); err != nil {
 		return 0, err
 	}
-	m.Run(budget)
-	return classify(m, golden), nil
+	return memoTail(m, golden, budget, interval, mr), nil
 }
 
 // RunSingle executes exactly one memory fault-injection experiment at the
@@ -489,5 +518,7 @@ func RunSingleSpace(t Target, golden *trace.Golden, cfg Config, kind pruning.Spa
 	if err != nil {
 		return 0, err
 	}
-	return runFromReset(m, golden, slot, bit, cfg.timeoutBudget(golden.Cycles), flipFor(kind))
+	// Deliberately plain (no predecode, no memo): this is the brute-force
+	// oracle the validation tests compare the optimized scan paths to.
+	return runFromReset(m, golden, slot, bit, cfg.timeoutBudget(golden.Cycles), 0, flipFor(kind), nil)
 }

@@ -75,9 +75,10 @@ type Config struct {
 	// smaller intervals mean less delta re-execution per experiment but
 	// more snapshot memory. 0 auto-tunes from the golden-trace length
 	// (aiming at DefaultLadderRungs rungs, at least MinLadderInterval
-	// cycles apart). Ignored by the other strategies. Like Strategy, it
-	// is outcome-invariant and deliberately not part of the campaign
-	// identity hash.
+	// cycles apart). With Memo on the same spacing also sets the memo
+	// probe boundaries under every strategy; otherwise the other
+	// strategies ignore it. Like Strategy, it is outcome-invariant and
+	// deliberately not part of the campaign identity hash.
 	LadderInterval uint64
 	// Telemetry, when non-nil, receives scan metrics: the experiment
 	// counter, per-outcome duration histograms and the strategy-specific
@@ -87,6 +88,27 @@ type Config struct {
 	// campaign identity hash (invariant 10). nil disables all
 	// instrumentation at zero cost.
 	Telemetry *telemetry.Registry
+	// Predecode enables the machine's pre-decoded dispatch stream: the
+	// program is lowered once per machine into a dense instruction stream
+	// executed by a tight chunked loop (see machine.SetPredecode). The
+	// fast path is exactly Step-equivalent — the predecode equivalence
+	// and self-modify fuzz tests pin that down — so like Strategy it is
+	// outcome-invariant and excluded from the campaign identity hash.
+	Predecode bool
+	// Memo enables cross-experiment outcome memoization: post-injection
+	// machine states are hashed at rung-interval boundaries and "suffix
+	// state → outcome remainder" entries are shared across all
+	// experiments of the campaign (see memo.go). Outcome-invariant by
+	// construction (invariant 11) and excluded from the identity hash.
+	Memo bool
+	// MemoCache, when non-nil, is the shared memoization cache to use
+	// (implies Memo). Cluster workers pass one per campaign so entries
+	// are shared across all leased work units; leaving it nil with Memo
+	// set gives the scan a private per-call cache. The cache binds to the
+	// first campaign identity and cycle budget it serves and rejects any
+	// other — entries are only transferable between experiments with
+	// identical machine semantics and budget.
+	MemoCache *MemoCache
 	// Pool, when non-nil, recycles worker machines across scans instead
 	// of allocating a fresh RAM image per worker per call. Cluster
 	// workers use one pool per campaign so that every leased work unit
@@ -160,6 +182,12 @@ func (c Config) validate() error {
 		return fmt.Errorf("campaign: unknown strategy %d", c.Strategy)
 	}
 	return nil
+}
+
+// memoEnabled reports whether outcome memoization is on: either the
+// flag is set or the caller supplied a shared cache.
+func (c Config) memoEnabled() bool {
+	return c.Memo || c.MemoCache != nil
 }
 
 // ladderInterval returns the effective rung spacing for StrategyLadder:

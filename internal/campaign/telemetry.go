@@ -3,6 +3,7 @@ package campaign
 import (
 	"time"
 
+	"faultspace/internal/machine"
 	"faultspace/internal/telemetry"
 )
 
@@ -25,6 +26,18 @@ type scanTel struct {
 	rungRestores *telemetry.Counter
 	reconverged  *telemetry.Counter
 	loopProofs   *telemetry.Counter
+
+	// Memoization counters (nil with memoization off): memoHits counts
+	// experiments whose remainder was composed from a cached entry,
+	// memoMisses counts cache probes that recorded a mark instead.
+	memoHits   *telemetry.Counter
+	memoMisses *telemetry.Counter
+	// predecodeInvals accumulates predecode-cache invalidations across
+	// the scan's machines (nil with predecode off). Structurally zero for
+	// Harvard-architecture campaign machines — the ROM is fault-immune,
+	// so nothing ever dirties the code region — but surfaced so the
+	// benchmark report and any von-Neumann embedder can observe it.
+	predecodeInvals *telemetry.Counter
 }
 
 // newScanTel resolves the scan instruments from the config's registry.
@@ -45,7 +58,29 @@ func newScanTel(cfg Config) *scanTel {
 		st.reconverged = r.Counter("ladder.reconverged")
 		st.loopProofs = r.Counter("ladder.loop_proofs")
 	}
+	if cfg.memoEnabled() {
+		st.memoHits = r.Counter("memo.hits")
+		st.memoMisses = r.Counter("memo.misses")
+	}
+	if cfg.Predecode {
+		st.predecodeInvals = r.Counter("predecode.invalidations")
+	}
 	return st
+}
+
+// addInvalidations folds the predecode invalidation counts of the
+// scan's machines into the counter. Called once at scan teardown, before
+// pooled machines are released; fresh campaign machines start at zero,
+// so the sum is the scan's own count.
+func (st *scanTel) addInvalidations(ms []*machine.Machine) {
+	if st == nil || st.predecodeInvals == nil {
+		return
+	}
+	var n uint64
+	for _, m := range ms {
+		n += m.PredecodeInvalidations()
+	}
+	st.predecodeInvals.Add(n)
 }
 
 // begin stamps the start of one experiment. Disabled telemetry skips

@@ -48,6 +48,15 @@ type WorkerOptions struct {
 	// (0 auto-tunes from the golden-trace length). Like Strategy, it is
 	// outcome-invariant and local to this worker.
 	LadderInterval uint64
+	// Predecode enables the simulator's pre-decoded dispatch stream on
+	// this worker's machines. Outcome-invariant and local to this worker.
+	Predecode bool
+	// Memo enables cross-experiment outcome memoization. The worker keeps
+	// one cache per campaign, shared across all the units it leases — the
+	// biggest win of the pool+memo combination, since leased units of the
+	// same campaign funnel through many common post-fault states.
+	// Outcome-invariant (invariant 11) and local to this worker.
+	Memo bool
 	// MaxRetries bounds consecutive failed attempts per request before
 	// the worker gives up (default 6).
 	MaxRetries int
@@ -170,9 +179,15 @@ func (w *worker) rebuild(spec Spec) error {
 		Workers:        w.opts.Workers,
 		Strategy:       w.opts.Strategy,
 		LadderInterval: w.opts.LadderInterval,
+		Predecode:      w.opts.Predecode,
 		Interrupt:      w.opts.Interrupt,
 		Telemetry:      w.opts.Telemetry,
 		Pool:           pool,
+	}
+	if w.opts.Memo {
+		// One cache per campaign, like the pool: every leased unit's
+		// RunClasses call shares (and grows) the same entries.
+		w.cfg.MemoCache = campaign.NewMemoCache()
 	}
 	kind := pruning.SpaceKind(spec.SpaceKind)
 	g, fs, err := w.target.PrepareSpace(kind, spec.MaxGoldenCycles)

@@ -205,6 +205,17 @@ type Machine struct {
 	inIRQ   bool
 	savedPC uint32
 	fireAt  uint64 // cycle count at which the next timer interrupt fires
+
+	// codeLen is the program length in instructions; pc ∈ [0, codeLen)
+	// is executable. For Harvard machines it equals len(rom).
+	codeLen uint32
+	// Von Neumann mode (NewVonNeumann): the program is fetched by
+	// decoding RAM at codeBase instead of from the fault-immune ROM.
+	vn       bool
+	codeBase uint32
+	// pre is the pre-decoded instruction stream (nil unless enabled via
+	// SetPredecode); see predecode.go.
+	pre *preProg
 }
 
 // New creates a machine executing prog with RAM initialized from image
@@ -236,6 +247,7 @@ func New(cfg Config, prog []isa.Instruction, image []byte) (*Machine, error) {
 		maxSerial: maxSerial,
 		fireAt:    cfg.TimerPeriod,
 		dirty:     make([]uint64, (numPages(cfg.RAMSize)+63)/64),
+		codeLen:   uint32(len(prog)),
 	}
 	copy(m.ram, image)
 	return m, nil
@@ -311,6 +323,9 @@ func (m *Machine) FlipBit(bit uint64) error {
 	}
 	m.ram[bit/8] ^= 1 << (bit % 8)
 	m.markDirty(uint32(bit / 8))
+	if m.vn {
+		m.invalidateCode(uint32(bit/8), 1)
+	}
 	return nil
 }
 
@@ -347,10 +362,18 @@ func (m *Machine) Step() (Status, error) {
 		m.pc = m.cfg.TimerVector
 		m.inIRQ = true
 	}
-	if m.pc >= uint32(len(m.rom)) {
+	if m.pc >= m.codeLen {
 		return m.raise(ExcBadPC), nil
 	}
-	ins := m.rom[m.pc]
+	var ins isa.Instruction
+	if m.vn {
+		var exc Exception
+		if ins, exc = m.vnDecode(m.pc); exc != ExcNone {
+			return m.raise(exc), nil
+		}
+	} else {
+		ins = m.rom[m.pc]
+	}
 	cycle := m.cycles + 1
 	nextPC := m.pc + 1
 	if m.execHook != nil {
@@ -502,6 +525,12 @@ func (m *Machine) Step() (Status, error) {
 // It returns the resulting status; StatusRunning means the cycle budget
 // was exhausted.
 func (m *Machine) Run(maxCycles uint64) Status {
+	// The pre-decoded fast path replicates the Step loop bit for bit but
+	// cannot invoke hooks; fall back to plain stepping while any are
+	// installed (see predecode.go).
+	if m.pre != nil && m.hook == nil && m.execHook == nil {
+		return m.runPre(maxCycles)
+	}
 	for m.status == StatusRunning && m.cycles < maxCycles {
 		if _, err := m.Step(); err != nil {
 			break
@@ -579,6 +608,9 @@ func (m *Machine) storeWord(cycle uint64, addr uint32, v uint32) Exception {
 		// PageSize is a multiple of 4 and the access is aligned, so the
 		// word lies within one page.
 		m.markDirty(addr)
+		if m.vn {
+			m.invalidateCode(addr, 4)
+		}
 		return ExcNone
 	}
 	if addr >= MMIOBase {
@@ -594,6 +626,9 @@ func (m *Machine) storeByte(cycle uint64, addr uint32, v byte) Exception {
 		}
 		m.ram[addr] = v
 		m.markDirty(addr)
+		if m.vn {
+			m.invalidateCode(addr, 1)
+		}
 		return ExcNone
 	}
 	if addr >= MMIOBase {

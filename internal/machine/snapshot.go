@@ -49,8 +49,12 @@ func (m *Machine) Restore(s *Snapshot) {
 	}
 	copy(m.ram, s.ram)
 	// A full restore rewrites all of RAM; conservatively mark every page
-	// dirty so any Cursor attached to this machine stays correct.
+	// dirty so any Cursor attached to this machine stays correct, and
+	// drop any cached code lowerings on von Neumann machines.
 	m.markAllDirty()
+	if m.vn {
+		m.invalidateAllCode()
+	}
 	m.regs = s.regs
 	m.pc = s.pc
 	m.cycles = s.cycles
@@ -85,11 +89,19 @@ func (m *Machine) Clone() *Machine {
 		savedPC:   m.savedPC,
 		fireAt:    m.fireAt,
 		dirty:     make([]uint64, len(m.dirty)),
+		codeLen:   m.codeLen,
+		vn:        m.vn,
+		codeBase:  m.codeBase,
 	}
 	copy(c.ram, m.ram)
 	copy(c.serial, m.serial)
 	// The clone has no delta-snapshot history; mark all pages dirty so a
 	// future Cursor on it never assumes a shared baseline.
 	c.markAllDirty()
+	// The predecode cache is derived state; rebuild it from the clone's
+	// own RAM/ROM rather than aliasing the source machine's.
+	if m.pre != nil {
+		c.SetPredecode(true)
+	}
 	return c
 }
