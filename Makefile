@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench bench-telemetry
+.PHONY: check vet build test race race-service fuzz-smoke bench bench-telemetry
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race fuzz-smoke bench-telemetry
+check: vet build test race race-service fuzz-smoke bench-telemetry
 
 vet:
 	$(GO) vet ./...
@@ -17,10 +17,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The campaign service's multi-campaign concurrency proof under the
+# race detector: two tenants' distinct campaigns complete concurrently
+# on one shared fleet (TestTwoTenantsConcurrent), plus the rest of the
+# service suite (scheduling, backpressure, drain, archive hits) —
+# -count=2 shakes out ordering-dependent races the single pass in
+# `race` can miss.
+race-service:
+	$(GO) test -race -count=2 ./internal/service
+
 # A short deterministic-corpus + 10s randomized smoke of the attack
-# surfaces: the two binary decoders exposed to untrusted bytes
-# (corrupted checkpoint files and mutated cluster wire frames must
-# error, never panic), the ladder delta-restore engine (random
+# surfaces: the binary decoders exposed to untrusted bytes
+# (corrupted checkpoint files, mutated cluster wire frames and damaged
+# service archive entries must error, never panic), the ladder
+# delta-restore engine (random
 # programs + random restore/flip/run sequences must reproduce full-
 # snapshot state bit-for-bit), and the predecode fast path under
 # self-modifying stores and code-region bit flips (the pre-decoded
@@ -29,6 +39,7 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
+	$(GO) test ./internal/service -run='^$$' -fuzz=FuzzArchiveEntryDecode -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzDeltaRestore -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzPredecodeSelfModify -fuzztime=10s
 

@@ -1,24 +1,10 @@
 package faultspace
 
 import (
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
 	"io"
 
-	"faultspace/internal/campaign"
-	"faultspace/internal/pruning"
-	"faultspace/internal/trace"
+	"faultspace/internal/archive"
 )
-
-// identityHex renders a campaign identity hash for the archive; the zero
-// hash (identity unknown) maps to the empty string.
-func identityHex(id [32]byte) string {
-	if id == ([32]byte{}) {
-		return ""
-	}
-	return hex.EncodeToString(id[:])
-}
 
 // Scan archives persist completed campaigns as JSON so that expensive
 // scans can be stored, shared and re-analyzed without re-running the
@@ -26,66 +12,15 @@ func identityHex(id [32]byte) string {
 // campaigns. An archive is self-contained for analysis purposes: it keeps
 // the fault-space geometry, every equivalence class with its outcome, and
 // the golden run's reference output.
-
-// scanArchiveVersion is bumped on incompatible schema changes.
-const scanArchiveVersion = 1
-
-type scanArchive struct {
-	Version int    `json:"version"`
-	Name    string `json:"name"`
-	// Identity is the hex campaign identity hash (see CampaignIdentity),
-	// correlating the archive with the campaign (and any checkpoint file)
-	// that produced it. Empty in archives from older builds or results
-	// reconstructed without a program.
-	Identity      string         `json:"identity,omitempty"`
-	Space         string         `json:"space"`
-	Cycles        uint64         `json:"cycles"`
-	Bits          uint64         `json:"bits"`
-	RAMBits       uint64         `json:"ramBits"`
-	KnownNoEffect uint64         `json:"knownNoEffect"`
-	Serial        []byte         `json:"serial"`
-	Detects       uint64         `json:"detects"`
-	Corrects      uint64         `json:"corrects"`
-	Classes       []classArchive `json:"classes"`
-}
-
-type classArchive struct {
-	Bit     uint64 `json:"b"`
-	Def     uint64 `json:"d"`
-	Use     uint64 `json:"u"`
-	Outcome uint8  `json:"o"`
-}
+//
+// The codec lives in internal/archive; the campaign service's
+// content-addressed result store (internal/service) persists exactly
+// these bytes, keyed by the campaign identity hash, which is what makes
+// an archived report byte-identical to a live scan's (invariant 12).
 
 // SaveScan writes a completed scan as a JSON archive.
 func SaveScan(w io.Writer, r *ScanResult) error {
-	if len(r.Outcomes) != len(r.Space.Classes) {
-		return fmt.Errorf("faultspace: scan result has %d outcomes for %d classes",
-			len(r.Outcomes), len(r.Space.Classes))
-	}
-	a := scanArchive{
-		Version:       scanArchiveVersion,
-		Name:          r.Target.Name,
-		Identity:      identityHex(r.Identity),
-		Space:         r.Space.Kind.String(),
-		Cycles:        r.Space.Cycles,
-		Bits:          r.Space.Bits,
-		RAMBits:       r.Golden.RAMBits,
-		KnownNoEffect: r.Space.KnownNoEffect,
-		Serial:        r.Golden.Serial,
-		Detects:       r.Golden.Detects,
-		Corrects:      r.Golden.Corrects,
-		Classes:       make([]classArchive, len(r.Space.Classes)),
-	}
-	for i, c := range r.Space.Classes {
-		a.Classes[i] = classArchive{
-			Bit:     c.Bit,
-			Def:     c.DefCycle,
-			Use:     c.UseCycle,
-			Outcome: uint8(r.Outcomes[i]),
-		}
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&a)
+	return archive.Encode(w, r)
 }
 
 // LoadScan reads a scan archive and reconstructs a ScanResult sufficient
@@ -94,57 +29,5 @@ func SaveScan(w io.Writer, r *ScanResult) error {
 // The fault-space partition invariant is re-verified, so inconsistent or
 // tampered archives are rejected.
 func LoadScan(r io.Reader) (*ScanResult, error) {
-	var a scanArchive
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&a); err != nil {
-		return nil, fmt.Errorf("faultspace: decode scan archive: %w", err)
-	}
-	if a.Version != scanArchiveVersion {
-		return nil, fmt.Errorf("faultspace: scan archive version %d, want %d", a.Version, scanArchiveVersion)
-	}
-	var kind pruning.SpaceKind
-	switch a.Space {
-	case pruning.SpaceMemory.String():
-		kind = pruning.SpaceMemory
-	case pruning.SpaceRegisters.String():
-		kind = pruning.SpaceRegisters
-	default:
-		return nil, fmt.Errorf("faultspace: unknown fault space %q in archive", a.Space)
-	}
-
-	classes := make([]pruning.Class, len(a.Classes))
-	outcomes := make([]campaign.Outcome, len(a.Classes))
-	for i, c := range a.Classes {
-		classes[i] = pruning.Class{Bit: c.Bit, DefCycle: c.Def, UseCycle: c.Use}
-		if int(c.Outcome) >= campaign.NumOutcomes {
-			return nil, fmt.Errorf("faultspace: archive class %d has unknown outcome %d", i, c.Outcome)
-		}
-		outcomes[i] = campaign.Outcome(c.Outcome)
-	}
-	fs, err := pruning.FromClasses(kind, a.Cycles, a.Bits, classes, a.KnownNoEffect)
-	if err != nil {
-		return nil, fmt.Errorf("faultspace: scan archive inconsistent: %w", err)
-	}
-	var id [32]byte
-	if a.Identity != "" {
-		raw, err := hex.DecodeString(a.Identity)
-		if err != nil || len(raw) != len(id) {
-			return nil, fmt.Errorf("faultspace: scan archive has malformed identity %q", a.Identity)
-		}
-		copy(id[:], raw)
-	}
-	return &ScanResult{
-		Identity: id,
-		Target:   campaign.Target{Name: a.Name},
-		Golden: &trace.Golden{
-			Name:     a.Name,
-			Cycles:   a.Cycles,
-			RAMBits:  a.RAMBits,
-			Serial:   a.Serial,
-			Detects:  a.Detects,
-			Corrects: a.Corrects,
-		},
-		Space:    fs,
-		Outcomes: outcomes,
-	}, nil
+	return archive.Decode(r)
 }

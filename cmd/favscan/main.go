@@ -69,6 +69,9 @@ func run(args []string, w, errW io.Writer) error {
 		workers  = fs.Int("workers", 0, "parallel experiment executors (0 = GOMAXPROCS)")
 		serve    = fs.String("serve", "", "coordinate a distributed scan: serve work units on this address")
 		join     = fs.String("join", "", "join a distributed scan as a worker of the coordinator at this address")
+		submit   = fs.String("submit", "", "submit the campaign to the favserve service at this address, wait and report")
+		tenant   = fs.String("tenant", "", "tenant id attributed to -submit for fair scheduling (default \"default\")")
+		fleetFl  = fs.String("fleet", "", "join the favserve service at this address as a long-lived fleet worker")
 		workerID = fs.String("worker-id", "", "worker name in cluster statistics (default w<pid>)")
 		unitSize = fs.Int("unit-size", 0, "classes per leased work unit (coordinator; default 256)")
 		leaseTTL = fs.Duration("lease", 0, "work-unit lease TTL before reassignment (coordinator; default 10s)")
@@ -113,8 +116,14 @@ func run(args []string, w, errW io.Writer) error {
 	if *ckpt != "" && (*sample > 0 || *loadFrom != "") {
 		return fmt.Errorf("-checkpoint applies to full scans only (not -sample or -load)")
 	}
-	if *serve != "" && *join != "" {
-		return fmt.Errorf("-serve and -join are mutually exclusive")
+	if moreThanOne(*serve != "", *join != "", *submit != "", *fleetFl != "") {
+		return fmt.Errorf("-serve, -join, -submit and -fleet are mutually exclusive")
+	}
+	if *submit != "" && (*sample > 0 || *loadFrom != "" || *ckpt != "" || *telem != "") {
+		return fmt.Errorf("-submit hands the campaign to the service: it accepts no sampling, archive-load, checkpoint or telemetry flags")
+	}
+	if *tenant != "" && *submit == "" {
+		return fmt.Errorf("-tenant requires -submit")
 	}
 	if *serve != "" && (*sample > 0 || *loadFrom != "") {
 		return fmt.Errorf("-serve applies to full scans only (not -sample or -load)")
@@ -149,6 +158,32 @@ func run(args []string, w, errW io.Writer) error {
 		}
 		err := faultspace.JoinScan(*join, jopts)
 		printTelemetrySummary(errW, jopts.Telemetry)
+		return err
+	}
+
+	if *fleetFl != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-fleet takes no benchmark argument: campaigns are assigned by the service")
+		}
+		if *sample > 0 || *loadFrom != "" || *saveTo != "" || *ckpt != "" || *outcomes {
+			return fmt.Errorf("-fleet is a pure worker: it accepts no campaign, archive or checkpoint flags")
+		}
+		fopts := faultspace.FleetOptions{JoinOptions: faultspace.JoinOptions{
+			WorkerID:       *workerID,
+			Workers:        *workers,
+			Strategy:       strat,
+			LadderInterval: *ladderIv,
+			Predecode:      *predec,
+			Memo:           *memo,
+		}}
+		if *progress {
+			fopts.Logf = func(format string, args ...any) {
+				fmt.Fprintf(errW, format+"\n", args...)
+			}
+			fopts.Telemetry = faultspace.NewTelemetry()
+		}
+		err := faultspace.JoinServiceFleet(*fleetFl, fopts)
+		printTelemetrySummary(errW, fopts.Telemetry)
 		return err
 	}
 
@@ -286,7 +321,9 @@ func run(args []string, w, errW io.Writer) error {
 	}
 
 	var scan *faultspace.ScanResult
-	if *serve != "" {
+	if *submit != "" {
+		scan, err = submitAndFetch(errW, *submit, *tenant, prog, opts)
+	} else if *serve != "" {
 		sopts := faultspace.ServeOptions{
 			ScanOptions: opts,
 			UnitSize:    *unitSize,
@@ -353,6 +390,44 @@ func run(args []string, w, errW io.Writer) error {
 		return printOutcomes(w, scan, *csv)
 	}
 	return nil
+}
+
+// moreThanOne reports whether more than one mode flag is set.
+func moreThanOne(flags ...bool) bool {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n > 1
+}
+
+// submitAndFetch ships the campaign to a favserve service, waits for a
+// terminal state and fetches the report — which is byte-identical to a
+// local scan's whether the service executed the campaign or answered
+// from its archive (invariant 12).
+func submitAndFetch(errW io.Writer, addr, tenant string, prog *faultspace.Program, opts faultspace.ScanOptions) (*faultspace.ScanResult, error) {
+	info, err := faultspace.SubmitCampaign(addr, prog, opts, tenant)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(errW, "favscan: campaign %.12s %s (tenant %s)\n", info.ID, info.State, info.Tenant)
+	if !info.Terminal() {
+		if info, err = faultspace.WaitCampaign(addr, info.ID, 0, nil); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case info.State == "failed":
+		return nil, fmt.Errorf("campaign failed: %s", info.Error)
+	case info.State != "done":
+		return nil, fmt.Errorf("campaign %s", info.State)
+	}
+	if info.Cached {
+		fmt.Fprintln(errW, "favscan: served from the service archive — no experiments executed")
+	}
+	return faultspace.CampaignReport(addr, info.ID)
 }
 
 // parseSpace validates the -space flag value, failing fast with the

@@ -282,3 +282,50 @@ func TestClusterInterruptShutdown(t *testing.T) {
 		t.Errorf("Join after interrupt: %v, want ErrShutdown", err)
 	}
 }
+
+// TestClusterMethodRejection: every mutating cluster endpoint enforces
+// POST and the read endpoints GET; anything else gets 405 with an Allow
+// header naming the one accepted method.
+func TestClusterMethodRejection(t *testing.T) {
+	tgt, golden, fs := testCampaign(t, "hi")
+	coord, err := NewCoordinator(tgt, golden, fs, campaign.Config{}, Options{
+		MaxGoldenCycles: testMaxGolden,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		path   string
+		method string // the rejected method to try
+		allow  string
+	}{
+		{"/v1/handshake", http.MethodGet, "POST"},
+		{"/v1/handshake", http.MethodDelete, "POST"},
+		{"/v1/lease", http.MethodGet, "POST"},
+		{"/v1/submit", http.MethodGet, "POST"},
+		{"/v1/submit", http.MethodPut, "POST"},
+		{"/v1/heartbeat", http.MethodGet, "POST"},
+		{"/v1/leave", http.MethodGet, "POST"},
+		{"/v1/status", http.MethodPost, "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: HTTP %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"faultspace/internal/campaign"
-	"faultspace/internal/isa"
 	"faultspace/internal/pruning"
 	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
@@ -186,11 +185,6 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 	if err != nil {
 		return nil, fmt.Errorf("cluster: identity: %w", err)
 	}
-	code, err := isa.EncodeProgram(t.Code)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: encode program: %w", err)
-	}
-	factor, slack := cfg.EffectiveTimeout()
 	c := &Coordinator{
 		target:   t,
 		golden:   golden,
@@ -211,23 +205,12 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 	c.telHeartbeats = reg.Counter("cluster.heartbeats")
 	c.telWorkers = reg.Gauge("cluster.active_workers")
 	c.telGap = reg.Histogram("cluster.heartbeat_gap")
-	c.spec = EncodeSpec(Spec{
-		Proto:           ProtoVersion,
-		Identity:        id,
-		Name:            t.Name,
-		Code:            code,
-		Image:           t.Image,
-		RAMSize:         uint64(t.Mach.RAMSize),
-		MaxSerial:       uint64(t.Mach.MaxSerial),
-		TimerPeriod:     t.Mach.TimerPeriod,
-		TimerVector:     uint32(t.Mach.TimerVector),
-		SpaceKind:       uint8(fs.Kind),
-		TimeoutFactor:   factor,
-		TimeoutSlack:    slack,
-		MaxGoldenCycles: opts.MaxGoldenCycles,
-		Classes:         uint64(len(fs.Classes)),
-		LeaseTTL:        opts.LeaseTTL,
-	})
+	spec, err := NewSpec(t, fs.Kind, cfg, opts.MaxGoldenCycles, uint64(len(fs.Classes)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	spec.LeaseTTL = opts.LeaseTTL
+	c.spec = EncodeSpec(spec)
 
 	for ci, o := range prior {
 		if ci < 0 || ci >= len(fs.Classes) {
@@ -368,9 +351,20 @@ func (c *Coordinator) resultLocked() *campaign.Result {
 // message (a few bytes per class).
 const maxBody = 16 << 20
 
+// RequireMethod enforces the single allowed method of an endpoint,
+// answering anything else with 405 and an Allow header per RFC 9110.
+// Shared with the campaign service's endpoints (internal/service).
+func RequireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		http.Error(w, "cluster: "+method+" required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "cluster: POST required", http.StatusMethodNotAllowed)
+	if !RequireMethod(w, r, http.MethodPost) {
 		return nil, false
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
@@ -635,6 +629,9 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	p := c.Snapshot()
 	resp := struct {
 		Name          string  `json:"name"`
@@ -669,6 +666,9 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 // trace events — the /debug/telemetry endpoint (only mounted when a
 // registry is configured).
 func (c *Coordinator) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
 	reg := c.opts.Telemetry
 	resp := struct {
 		Telemetry     telemetry.Snapshot `json:"telemetry"`

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+
+	"faultspace/internal/campaign"
+	"faultspace/internal/isa"
+	"faultspace/internal/machine"
+	"faultspace/internal/pruning"
+	"faultspace/internal/trace"
+)
+
+// NewSpec assembles the campaign spec: the complete, self-contained
+// campaign description shipped in coordinator handshakes and accepted as
+// the body of a service campaign submission. classes is the total
+// equivalence-class count of the prepared fault space (a sanity check
+// the receiving side re-verifies after rebuilding the campaign).
+// LeaseTTL defaults to DefaultLeaseTTL; a serving coordinator stamps its
+// own before answering handshakes.
+func NewSpec(t campaign.Target, kind pruning.SpaceKind, cfg campaign.Config, maxGoldenCycles, classes uint64) (Spec, error) {
+	id, err := t.CampaignIdentity(kind, cfg)
+	if err != nil {
+		return Spec{}, fmt.Errorf("identity: %w", err)
+	}
+	code, err := isa.EncodeProgram(t.Code)
+	if err != nil {
+		return Spec{}, fmt.Errorf("encode program: %w", err)
+	}
+	factor, slack := cfg.EffectiveTimeout()
+	return Spec{
+		Proto:           ProtoVersion,
+		Identity:        id,
+		Name:            t.Name,
+		Code:            code,
+		Image:           t.Image,
+		RAMSize:         uint64(t.Mach.RAMSize),
+		MaxSerial:       uint64(t.Mach.MaxSerial),
+		TimerPeriod:     t.Mach.TimerPeriod,
+		TimerVector:     uint32(t.Mach.TimerVector),
+		SpaceKind:       uint8(kind),
+		TimeoutFactor:   factor,
+		TimeoutSlack:    slack,
+		MaxGoldenCycles: maxGoldenCycles,
+		Classes:         classes,
+		LeaseTTL:        DefaultLeaseTTL,
+	}, nil
+}
+
+// BuildCampaign reconstructs a campaign from a spec deterministically:
+// it decodes the program, re-records the golden run, re-derives the
+// pruned fault space and verifies both the announced class count and the
+// campaign identity hash. A spec whose rebuild diverges (different
+// simulator semantics, skewed or forged spec) fails here rather than
+// poisoning results — this is the worker-side half of the admission
+// check, and the service's submission validation.
+//
+// The returned config carries only the outcome-relevant parameters (the
+// timeout budget); callers layer their local execution choices (workers,
+// strategy, pool, memo) on top, which never changes the identity.
+func BuildCampaign(spec Spec) (campaign.Target, *trace.Golden, *pruning.FaultSpace, campaign.Config, error) {
+	var cfg campaign.Config
+	code, err := isa.DecodeProgram(spec.Code)
+	if err != nil {
+		return campaign.Target{}, nil, nil, cfg, fmt.Errorf("cluster: spec program: %w", err)
+	}
+	t := campaign.Target{
+		Name:  spec.Name,
+		Code:  code,
+		Image: append([]byte(nil), spec.Image...),
+		Mach: machine.Config{
+			RAMSize:     int(spec.RAMSize),
+			MaxSerial:   int(spec.MaxSerial),
+			TimerPeriod: spec.TimerPeriod,
+			TimerVector: spec.TimerVector,
+		},
+	}
+	cfg = campaign.Config{
+		TimeoutFactor: spec.TimeoutFactor,
+		TimeoutSlack:  spec.TimeoutSlack,
+	}
+	kind := pruning.SpaceKind(spec.SpaceKind)
+	g, fs, err := t.PrepareSpace(kind, spec.MaxGoldenCycles)
+	if err != nil {
+		return campaign.Target{}, nil, nil, cfg, fmt.Errorf("cluster: rebuild campaign: %w", err)
+	}
+	if uint64(len(fs.Classes)) != spec.Classes {
+		return campaign.Target{}, nil, nil, cfg, fmt.Errorf("%w: rebuilt fault space has %d classes, spec announced %d",
+			ErrRejected, len(fs.Classes), spec.Classes)
+	}
+	id, err := t.CampaignIdentity(kind, cfg)
+	if err != nil {
+		return campaign.Target{}, nil, nil, cfg, fmt.Errorf("cluster: identity: %w", err)
+	}
+	if id != spec.Identity {
+		return campaign.Target{}, nil, nil, cfg, fmt.Errorf("%w: rebuilt campaign identity differs from the spec's", ErrRejected)
+	}
+	return t, g, fs, cfg, nil
+}

@@ -13,8 +13,6 @@ import (
 
 	"faultspace/internal/campaign"
 	"faultspace/internal/checkpoint"
-	"faultspace/internal/isa"
-	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
 	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
@@ -126,9 +124,20 @@ func Join(baseURL string, opts WorkerOptions) error {
 	if err != nil {
 		return fmt.Errorf("cluster: handshake: %w", err)
 	}
+	return JoinCampaign(baseURL, spec, opts)
+}
+
+// JoinCampaign runs the worker loop for a campaign whose spec was
+// obtained out of band — e.g. from the campaign service's fleet
+// handshake, which assigns campaigns to workers dynamically. It rebuilds
+// the campaign from the spec, verifies the identity hash and then
+// leases, executes and submits work units exactly like Join.
+func JoinCampaign(baseURL string, spec Spec, opts WorkerOptions) error {
+	opts = opts.withDefaults()
 	if spec.Proto != ProtoVersion {
 		return fmt.Errorf("%w: coordinator speaks protocol %d, this worker %d", ErrRejected, spec.Proto, ProtoVersion)
 	}
+	w := &worker{base: strings.TrimSuffix(baseURL, "/"), opts: opts}
 	if err := w.rebuild(spec); err != nil {
 		return err
 	}
@@ -148,66 +157,33 @@ type worker struct {
 	cfg    campaign.Config
 }
 
-// rebuild reconstructs the campaign from the handshake spec and verifies
-// the identity hash — the worker-side half of the admission check. A
-// worker whose rebuild diverges (different simulator semantics, skewed
-// spec) fails here rather than poisoning results.
+// rebuild reconstructs the campaign from the handshake spec via
+// BuildCampaign — the worker-side half of the admission check — and
+// layers this worker's local execution choices (all outcome-invariant)
+// on top of the outcome-relevant config the spec pins down.
 func (w *worker) rebuild(spec Spec) error {
-	code, err := isa.DecodeProgram(spec.Code)
+	t, g, fs, cfg, err := BuildCampaign(spec)
 	if err != nil {
-		return fmt.Errorf("cluster: spec program: %w", err)
-	}
-	w.target = campaign.Target{
-		Name:  spec.Name,
-		Code:  code,
-		Image: append([]byte(nil), spec.Image...),
-		Mach: machine.Config{
-			RAMSize:     int(spec.RAMSize),
-			MaxSerial:   int(spec.MaxSerial),
-			TimerPeriod: spec.TimerPeriod,
-			TimerVector: spec.TimerVector,
-		},
+		return err
 	}
 	// One pool for the whole campaign: every leased unit is one
 	// RunClasses call, and without the pool each of them would
 	// re-allocate every worker machine's RAM image.
-	pool := campaign.NewMachinePool(w.target)
+	pool := campaign.NewMachinePool(t)
 	pool.Instrument(w.opts.Telemetry)
-	w.cfg = campaign.Config{
-		TimeoutFactor:  spec.TimeoutFactor,
-		TimeoutSlack:   spec.TimeoutSlack,
-		Workers:        w.opts.Workers,
-		Strategy:       w.opts.Strategy,
-		LadderInterval: w.opts.LadderInterval,
-		Predecode:      w.opts.Predecode,
-		Interrupt:      w.opts.Interrupt,
-		Telemetry:      w.opts.Telemetry,
-		Pool:           pool,
-	}
+	cfg.Workers = w.opts.Workers
+	cfg.Strategy = w.opts.Strategy
+	cfg.LadderInterval = w.opts.LadderInterval
+	cfg.Predecode = w.opts.Predecode
+	cfg.Interrupt = w.opts.Interrupt
+	cfg.Telemetry = w.opts.Telemetry
+	cfg.Pool = pool
 	if w.opts.Memo {
 		// One cache per campaign, like the pool: every leased unit's
 		// RunClasses call shares (and grows) the same entries.
-		w.cfg.MemoCache = campaign.NewMemoCache()
+		cfg.MemoCache = campaign.NewMemoCache()
 	}
-	kind := pruning.SpaceKind(spec.SpaceKind)
-	g, fs, err := w.target.PrepareSpace(kind, spec.MaxGoldenCycles)
-	if err != nil {
-		return fmt.Errorf("cluster: rebuild campaign: %w", err)
-	}
-	if uint64(len(fs.Classes)) != spec.Classes {
-		return fmt.Errorf("%w: rebuilt fault space has %d classes, coordinator announced %d",
-			ErrRejected, len(fs.Classes), spec.Classes)
-	}
-	id, err := w.target.CampaignIdentity(kind, w.cfg)
-	if err != nil {
-		return fmt.Errorf("cluster: identity: %w", err)
-	}
-	if id != spec.Identity {
-		return fmt.Errorf("%w: rebuilt campaign identity differs from the coordinator's", ErrRejected)
-	}
-	w.golden = g
-	w.space = fs
-	w.spec = spec
+	w.target, w.golden, w.space, w.cfg, w.spec = t, g, fs, cfg, spec
 	return nil
 }
 

@@ -1,0 +1,840 @@
+package service
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"faultspace/internal/archive"
+	"faultspace/internal/checkpoint"
+	"faultspace/internal/cluster"
+	"faultspace/internal/telemetry"
+)
+
+// Options parameterizes a Service.
+type Options struct {
+	// Dir is the archive directory for the content-addressed result
+	// store. Empty disables persistence (results are kept in memory for
+	// the life of the process only).
+	Dir string
+	// MaxArchiveBytes caps the on-disk archive size; least-recently-used
+	// entries are evicted beyond it. 0 = unbounded.
+	MaxArchiveBytes int64
+	// MaxActive bounds the campaigns running concurrently on the shared
+	// fleet (default 2). Further admitted campaigns queue.
+	MaxActive int
+	// MaxQueued bounds the campaigns waiting across all tenants (default
+	// 16). Beyond it submissions are rejected with 429 and a Retry-After
+	// hint — the backpressure signal.
+	MaxQueued int
+	// UnitSize and LeaseTTL parameterize each campaign's coordinator
+	// (defaults cluster.DefaultUnitSize / cluster.DefaultLeaseTTL).
+	UnitSize int
+	LeaseTTL time.Duration
+	// RetryAfter is the client back-off hint attached to 429/503
+	// responses (default 1s).
+	RetryAfter time.Duration
+	// Telemetry, when non-nil, receives service-level metrics (queue
+	// depth, active campaigns, archive hit/miss counters) and campaign
+	// lifecycle trace events, and enables /debug/telemetry.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives service life-cycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Options.
+const (
+	DefaultMaxActive  = 2
+	DefaultMaxQueued  = 16
+	DefaultRetryAfter = time.Second
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxActive == 0 {
+		o.MaxActive = DefaultMaxActive
+	}
+	if o.MaxQueued == 0 {
+		o.MaxQueued = DefaultMaxQueued
+	}
+	if o.UnitSize == 0 {
+		o.UnitSize = cluster.DefaultUnitSize
+	}
+	if o.LeaseTTL == 0 {
+		o.LeaseTTL = cluster.DefaultLeaseTTL
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Campaign lifecycle states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+	StateFailed    = "failed"
+)
+
+// entry is one submitted campaign's service-side state, guarded by the
+// service mutex except where noted.
+type entry struct {
+	id     [32]byte
+	idHex  string
+	tenant string
+	spec   cluster.Spec
+	// specBytes is the encoded handshake frame handed to fleet workers;
+	// set when the campaign starts running (it carries the service's
+	// LeaseTTL).
+	specBytes []byte
+
+	state  string
+	cached bool   // done without execution: served from the archive
+	errMsg string // for StateFailed
+
+	// reg is the campaign's own telemetry registry: its coordinator's
+	// cluster.* counters and — for in-process fleet workers — its
+	// engine's scan.*, memo.* and predecode counters land here,
+	// isolated from every other campaign in the process.
+	reg   *telemetry.Registry
+	coord *cluster.Coordinator // nil until running; stays set after
+	// intr interrupts the campaign (cancel endpoint or service drain).
+	intr     chan struct{}
+	intrOnce sync.Once
+	report   []byte        // archive.Encode bytes, set when done
+	done     chan struct{} // closed on done/cancelled/failed
+}
+
+func (e *entry) interrupt() {
+	e.intrOnce.Do(func() { close(e.intr) })
+}
+
+// CampaignStatus is the JSON status of one campaign, served by the
+// lifecycle endpoints and embedded in /v1/status.
+type CampaignStatus struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Tenant string `json:"tenant"`
+	State  string `json:"state"`
+	// Cached reports that the campaign completed without executing a
+	// single experiment: its report came from the result archive.
+	Cached bool   `json:"cached,omitempty"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Error  string `json:"error,omitempty"`
+	// Telemetry is the campaign's own registry snapshot — per-campaign
+	// cluster and engine counters, not process globals.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// Service is a long-lived multi-campaign coordinator with per-tenant
+// fair scheduling and a content-addressed result archive. It is an
+// http.Handler factory (Handler) speaking both the campaign lifecycle
+// API (/v1/campaigns...) and the worker protocol (/v1/handshake,
+// /v1/lease, /v1/submit, ...), routing worker traffic to the right
+// campaign's coordinator by the identity prefix every wire message
+// carries.
+type Service struct {
+	opts  Options
+	store *Store
+
+	mu        sync.Mutex
+	campaigns map[[32]byte]*entry
+	order     []*entry            // submission order, for listing
+	queues    map[string][]*entry // per-tenant FIFO of queued campaigns
+	ring      []string            // round-robin tenant order
+	ringPos   int
+	queued    int
+	active    []*entry // running campaigns
+	fleetPos  int      // round-robin position for fleet assignment
+	draining  bool
+	wg        sync.WaitGroup
+
+	telQueueDepth *telemetry.Gauge
+	telActive     *telemetry.Gauge
+	telSubmitted  *telemetry.Counter
+	telHits       *telemetry.Counter
+	telMisses     *telemetry.Counter
+}
+
+// New opens the result archive and returns a ready-to-serve Service.
+func New(opts Options) (*Service, error) {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:      opts,
+		campaigns: make(map[[32]byte]*entry),
+		queues:    make(map[string][]*entry),
+	}
+	if opts.Dir != "" {
+		st, err := OpenStore(opts.Dir, opts.MaxArchiveBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	reg := opts.Telemetry
+	s.telQueueDepth = reg.Gauge("service.queue_depth")
+	s.telActive = reg.Gauge("service.active_campaigns")
+	s.telSubmitted = reg.Counter("service.submissions")
+	s.telHits = reg.Counter("service.archive_hits")
+	s.telMisses = reg.Counter("service.archive_misses")
+	return s, nil
+}
+
+// Archive exposes the result store (nil when persistence is disabled).
+func (s *Service) Archive() *Store { return s.store }
+
+// CampaignTelemetry returns the campaign's own telemetry registry (nil
+// for unknown identities) — the FleetOptions.TelemetryFor hook for
+// in-process fleet workers, so their engine counters land in the right
+// campaign's registry.
+func (s *Service) CampaignTelemetry(id [32]byte) *telemetry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.campaigns[id]; e != nil {
+		return e.reg
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
+	mux.HandleFunc("/v1/handshake", s.handleHandshake)
+	mux.HandleFunc("/v1/lease", s.routeWorker)
+	mux.HandleFunc("/v1/submit", s.routeWorker)
+	mux.HandleFunc("/v1/heartbeat", s.routeWorker)
+	mux.HandleFunc("/v1/leave", s.routeWorker)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	if s.opts.Telemetry != nil {
+		mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
+	}
+	return mux
+}
+
+// --- lifecycle endpoints -------------------------------------------------
+
+// maxBody mirrors the cluster protocol's request body bound.
+const maxBody = 16 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		http.Error(w, "service: read: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > maxBody {
+		http.Error(w, "service: request too large", http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Service) retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleCampaigns serves POST /v1/campaigns (submit) and GET
+// /v1/campaigns (list).
+func (s *Service) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.list(w)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "service: GET or POST required", http.StatusMethodNotAllowed)
+	}
+}
+
+// submit admits one campaign: the body is an encoded cluster spec frame
+// (cluster.EncodeSpec), the tenant comes from the ?tenant= query
+// parameter. Identical re-submissions are idempotent; a submission whose
+// identity is archived completes instantly without touching the fleet.
+func (s *Service) submit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	spec, err := cluster.DecodeSpec(body)
+	if err != nil {
+		http.Error(w, "service: spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if spec.Proto != cluster.ProtoVersion {
+		http.Error(w, fmt.Sprintf("service: protocol %d not supported", spec.Proto), http.StatusBadRequest)
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.retryAfter(w)
+		http.Error(w, "service: draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.telSubmitted.Inc()
+	if e := s.campaigns[spec.Identity]; e != nil {
+		// Idempotent: the campaign is already known, whatever its state.
+		writeJSON(w, http.StatusOK, s.statusLocked(e, false))
+		return
+	}
+	e := &entry{
+		id:     spec.Identity,
+		idHex:  hex.EncodeToString(spec.Identity[:]),
+		tenant: tenant,
+		spec:   spec,
+		state:  StateQueued,
+		reg:    telemetry.New(),
+		intr:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if s.store != nil {
+		if report, hit := s.store.Get(spec.Identity); hit {
+			// Archive hit: the identity pins down the report bytes
+			// (invariant 12), so the campaign is already done.
+			e.state = StateDone
+			e.cached = true
+			e.report = report
+			close(e.done)
+			s.campaigns[e.id] = e
+			s.order = append(s.order, e)
+			s.telHits.Inc()
+			s.opts.Telemetry.Tracef("campaign.cached", "%s (%s) served from archive", e.spec.Name, e.idHex[:12])
+			s.opts.Logf("service: campaign %s (%s) served from archive", e.spec.Name, e.idHex[:12])
+			writeJSON(w, http.StatusOK, s.statusLocked(e, false))
+			return
+		}
+		s.telMisses.Inc()
+	}
+	if s.queued >= s.opts.MaxQueued {
+		s.retryAfter(w)
+		http.Error(w, "service: campaign queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.campaigns[e.id] = e
+	s.order = append(s.order, e)
+	if _, known := s.queues[tenant]; !known {
+		s.ring = append(s.ring, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], e)
+	s.queued++
+	s.telQueueDepth.Set(int64(s.queued))
+	s.opts.Telemetry.Tracef("campaign.submitted", "%s (%s) by tenant %s", e.spec.Name, e.idHex[:12], tenant)
+	s.opts.Logf("service: campaign %s (%s) submitted by tenant %s", e.spec.Name, e.idHex[:12], tenant)
+	s.scheduleLocked()
+	writeJSON(w, http.StatusAccepted, s.statusLocked(e, false))
+}
+
+func (s *Service) list(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(s.order))
+	for _, e := range s.order {
+		out = append(out, s.statusLocked(e, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCampaign serves the per-campaign subpaths:
+// GET /v1/campaigns/<id>, GET /v1/campaigns/<id>/report and
+// POST /v1/campaigns/<id>/cancel.
+func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/campaigns/")
+	idHex, verb, _ := strings.Cut(rest, "/")
+	raw, err := hex.DecodeString(idHex)
+	var id [32]byte
+	if err != nil || len(raw) != len(id) {
+		http.Error(w, "service: malformed campaign id", http.StatusBadRequest)
+		return
+	}
+	copy(id[:], raw)
+
+	s.mu.Lock()
+	e := s.campaigns[id]
+	s.mu.Unlock()
+	if e == nil {
+		http.Error(w, "service: unknown campaign", http.StatusNotFound)
+		return
+	}
+	switch verb {
+	case "":
+		if !cluster.RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.mu.Lock()
+		st := s.statusLocked(e, true)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	case "report":
+		if !cluster.RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.mu.Lock()
+		state, report := e.state, e.report
+		s.mu.Unlock()
+		if state != StateDone {
+			s.retryAfter(w)
+			http.Error(w, "service: campaign not complete ("+state+")", http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(report)
+	case "cancel":
+		if !cluster.RequireMethod(w, r, http.MethodPost) {
+			return
+		}
+		s.cancel(w, e)
+	default:
+		http.Error(w, "service: unknown campaign endpoint", http.StatusNotFound)
+	}
+}
+
+func (s *Service) cancel(w http.ResponseWriter, e *entry) {
+	s.mu.Lock()
+	switch e.state {
+	case StateQueued:
+		q := s.queues[e.tenant]
+		for i, qe := range q {
+			if qe == e {
+				s.queues[e.tenant] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		s.queued--
+		s.telQueueDepth.Set(int64(s.queued))
+		s.finishLocked(e, StateCancelled, "cancelled before start")
+	case StateRunning:
+		// The coordinator answers the fleet with UnitShutdown and Wait
+		// returns ErrInterrupted; runCampaign finishes the entry.
+		e.interrupt()
+	}
+	st := s.statusLocked(e, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statusLocked renders a campaign's status; withTelemetry attaches the
+// campaign's registry snapshot.
+func (s *Service) statusLocked(e *entry, withTelemetry bool) CampaignStatus {
+	st := CampaignStatus{
+		ID:     e.idHex,
+		Name:   e.spec.Name,
+		Tenant: e.tenant,
+		State:  e.state,
+		Cached: e.cached,
+		Total:  int(e.spec.Classes),
+		Error:  e.errMsg,
+	}
+	switch {
+	case e.state == StateDone:
+		st.Done = st.Total
+	case e.coord != nil:
+		st.Done = e.coord.Snapshot().Done
+	}
+	if withTelemetry {
+		snap := e.reg.Snapshot()
+		st.Telemetry = &snap
+	}
+	return st
+}
+
+// --- scheduling ----------------------------------------------------------
+
+// scheduleLocked starts queued campaigns while capacity lasts, visiting
+// tenants round-robin so no tenant's backlog starves another's.
+func (s *Service) scheduleLocked() {
+	if s.draining {
+		return
+	}
+	for len(s.active) < s.opts.MaxActive && s.queued > 0 {
+		var e *entry
+		for range s.ring {
+			tenant := s.ring[s.ringPos%len(s.ring)]
+			s.ringPos++
+			if q := s.queues[tenant]; len(q) > 0 {
+				e = q[0]
+				s.queues[tenant] = q[1:]
+				break
+			}
+		}
+		if e == nil {
+			return
+		}
+		s.queued--
+		s.telQueueDepth.Set(int64(s.queued))
+		e.state = StateRunning
+		s.active = append(s.active, e)
+		s.telActive.Set(int64(len(s.active)))
+		s.wg.Add(1)
+		go s.runCampaign(e)
+	}
+}
+
+// runCampaign rebuilds the campaign from its spec (verifying the
+// identity — a spec whose content does not hash to its announced
+// identity fails here and can never poison the archive), runs it on the
+// shared fleet through a dedicated coordinator, and archives the report.
+func (s *Service) runCampaign(e *entry) {
+	defer s.wg.Done()
+	t, g, fs, cfg, err := cluster.BuildCampaign(e.spec)
+	if err != nil {
+		s.mu.Lock()
+		s.finishLocked(e, StateFailed, err.Error())
+		s.retireLocked(e)
+		s.mu.Unlock()
+		return
+	}
+	coord, err := cluster.NewCoordinator(t, g, fs, cfg, cluster.Options{
+		UnitSize:        s.opts.UnitSize,
+		LeaseTTL:        s.opts.LeaseTTL,
+		MaxGoldenCycles: e.spec.MaxGoldenCycles,
+		Interrupt:       e.intr,
+		Telemetry:       e.reg,
+	}, nil)
+	if err != nil {
+		s.mu.Lock()
+		s.finishLocked(e, StateFailed, err.Error())
+		s.retireLocked(e)
+		s.mu.Unlock()
+		return
+	}
+	spec := e.spec
+	spec.LeaseTTL = s.opts.LeaseTTL
+
+	s.mu.Lock()
+	e.coord = coord
+	e.specBytes = cluster.EncodeSpec(spec)
+	s.mu.Unlock()
+	s.opts.Telemetry.Tracef("campaign.started", "%s (%s)", e.spec.Name, e.idHex[:12])
+	s.opts.Logf("service: campaign %s (%s) started", e.spec.Name, e.idHex[:12])
+
+	res, err := coord.Wait()
+	if err != nil {
+		// Interrupted: cancel endpoint or service drain. Keep the partial
+		// coordinator state for late worker traffic; archive nothing.
+		s.drainCoordinator(coord)
+		s.mu.Lock()
+		s.finishLocked(e, StateCancelled, "interrupted")
+		s.retireLocked(e)
+		s.mu.Unlock()
+		return
+	}
+	var buf bytes.Buffer
+	if err := archive.Encode(&buf, res); err == nil {
+		if s.store != nil {
+			if perr := s.store.Put(e.id, buf.Bytes()); perr != nil {
+				s.opts.Logf("service: archive %s: %v", e.idHex[:12], perr)
+			}
+		}
+	} else {
+		s.mu.Lock()
+		s.finishLocked(e, StateFailed, err.Error())
+		s.retireLocked(e)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	e.report = buf.Bytes()
+	s.finishLocked(e, StateDone, "")
+	s.retireLocked(e)
+	s.mu.Unlock()
+}
+
+// finishLocked moves a campaign to a terminal state.
+func (s *Service) finishLocked(e *entry, state, detail string) {
+	e.state = state
+	if state == StateFailed {
+		e.errMsg = detail
+	}
+	close(e.done)
+	s.opts.Telemetry.Tracef("campaign."+state, "%s (%s) %s", e.spec.Name, e.idHex[:12], detail)
+	s.opts.Logf("service: campaign %s (%s) %s %s", e.spec.Name, e.idHex[:12], state, detail)
+}
+
+// retireLocked removes a campaign from the active set and schedules the
+// next queued one.
+func (s *Service) retireLocked(e *entry) {
+	for i, a := range s.active {
+		if a == e {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.telActive.Set(int64(len(s.active)))
+	s.scheduleLocked()
+}
+
+// drainCoordinator gives the fleet a bounded grace period to see the
+// shutdown answer and deregister before the coordinator is sealed.
+func (s *Service) drainCoordinator(c *cluster.Coordinator) {
+	deadline := time.Now().Add(2 * s.opts.LeaseTTL)
+	for !c.Drained() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Seal()
+}
+
+// --- worker protocol -----------------------------------------------------
+
+// handleHandshake admits workers. An empty body is the single-campaign
+// protocol of cluster.Join: the reply is the spec of one running
+// campaign (chosen round-robin), or 503 + Retry-After when none is
+// running — the worker's bounded retry loop absorbs the wait. A body
+// carrying a FleetHello frame gets a ServiceHello back, which can also
+// say "wait" or "shutdown" explicitly (JoinFleet's protocol).
+func (s *Service) handleHandshake(w http.ResponseWriter, r *http.Request) {
+	if !cluster.RequireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if len(body) == 0 {
+		spec, _ := s.pickCampaign()
+		if spec == nil {
+			s.retryAfter(w)
+			http.Error(w, "service: no campaign running", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(spec)
+		return
+	}
+	hello, err := DecodeFleetHello(body)
+	if err != nil {
+		http.Error(w, "service: handshake: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := ServiceHello{Status: FleetWait}
+	spec, draining := s.pickCampaign()
+	switch {
+	case draining:
+		resp.Status = FleetShutdown
+	case spec != nil:
+		resp.Status = FleetGranted
+		resp.Spec = spec
+	}
+	s.opts.Telemetry.Tracef("fleet.handshake", "worker %s: status %d", hello.WorkerID, resp.Status)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(EncodeServiceHello(resp))
+}
+
+// pickCampaign chooses a running campaign round-robin for a handshaking
+// worker, spreading the fleet across concurrent campaigns.
+func (s *Service) pickCampaign() (spec []byte, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, true
+	}
+	for range s.active {
+		e := s.active[s.fleetPos%len(s.active)]
+		s.fleetPos++
+		if e.specBytes != nil {
+			return e.specBytes, false
+		}
+	}
+	return nil, false
+}
+
+// routeWorker dispatches a worker-protocol request to the right
+// campaign's coordinator. Every post-handshake message carries the
+// campaign identity as its payload prefix, so the service peeks it
+// without fully decoding and replays the request against the owning
+// coordinator. Campaigns that never ran a coordinator (archive hits,
+// early failures) synthesize the protocol answers workers expect.
+func (s *Service) routeWorker(w http.ResponseWriter, r *http.Request) {
+	if !cluster.RequireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	id, ok := peekIdentity(body)
+	if !ok {
+		http.Error(w, "service: malformed worker message", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	e := s.campaigns[id]
+	var coord *cluster.Coordinator
+	var state string
+	if e != nil {
+		coord, state = e.coord, e.state
+	}
+	s.mu.Unlock()
+	if e == nil {
+		http.Error(w, "service: campaign identity mismatch (unknown campaign)", http.StatusConflict)
+		return
+	}
+	if coord != nil {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		coord.Handler().ServeHTTP(w, r)
+		return
+	}
+	// No coordinator: synthesize the answer a finished (or not yet
+	// started) campaign owes the worker.
+	if strings.HasSuffix(r.URL.Path, "/lease") {
+		u := cluster.WorkUnit{}
+		switch state {
+		case StateQueued:
+			u.Status = cluster.UnitWait
+		case StateDone:
+			u.Status = cluster.UnitDone
+		default:
+			u.Status = cluster.UnitShutdown
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(cluster.EncodeWorkUnit(u))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// peekIdentity extracts the identity prefix every post-handshake worker
+// message payload starts with.
+func peekIdentity(body []byte) ([32]byte, bool) {
+	var id [32]byte
+	_, payload, _, err := checkpoint.ReadFrame(body, 0)
+	if err != nil || len(payload) < len(id) {
+		return id, false
+	}
+	copy(id[:], payload)
+	return id, true
+}
+
+// --- observability -------------------------------------------------------
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if !cluster.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.Lock()
+	resp := struct {
+		Campaigns []CampaignStatus `json:"campaigns"`
+		Queued    int              `json:"queued"`
+		Active    int              `json:"active"`
+		Draining  bool             `json:"draining,omitempty"`
+		Archive   *struct {
+			Entries int    `json:"entries"`
+			Bytes   int64  `json:"bytes"`
+			Evicted uint64 `json:"evicted"`
+		} `json:"archive,omitempty"`
+		Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	}{
+		Queued:   s.queued,
+		Active:   len(s.active),
+		Draining: s.draining,
+	}
+	for _, e := range s.order {
+		// Per-campaign snapshots keep every campaign's scan/memo/cluster
+		// counters isolated — /v1/status never mixes campaigns into one
+		// process-global number.
+		resp.Campaigns = append(resp.Campaigns, s.statusLocked(e, true))
+	}
+	s.mu.Unlock()
+	sort.Slice(resp.Campaigns, func(i, j int) bool { return resp.Campaigns[i].ID < resp.Campaigns[j].ID })
+	if s.store != nil {
+		resp.Archive = &struct {
+			Entries int    `json:"entries"`
+			Bytes   int64  `json:"bytes"`
+			Evicted uint64 `json:"evicted"`
+		}{Entries: s.store.Len(), Bytes: s.store.Size(), Evicted: s.store.Evicted()}
+	}
+	if s.opts.Telemetry != nil {
+		snap := s.opts.Telemetry.Snapshot()
+		resp.Telemetry = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if !cluster.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	reg := s.opts.Telemetry
+	resp := struct {
+		Telemetry     telemetry.Snapshot            `json:"telemetry"`
+		Campaigns     map[string]telemetry.Snapshot `json:"campaigns,omitempty"`
+		Events        []telemetry.Event             `json:"events,omitempty"`
+		EventsDropped uint64                        `json:"events_dropped,omitempty"`
+	}{Telemetry: reg.Snapshot()}
+	s.mu.Lock()
+	if len(s.order) > 0 {
+		resp.Campaigns = make(map[string]telemetry.Snapshot, len(s.order))
+		for _, e := range s.order {
+			resp.Campaigns[e.idHex] = e.reg.Snapshot()
+		}
+	}
+	s.mu.Unlock()
+	if tr := reg.Tracer(); tr != nil {
+		resp.Events = tr.Events()
+		resp.EventsDropped = tr.Dropped()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- shutdown ------------------------------------------------------------
+
+// Shutdown drains the service: new submissions are rejected with 503,
+// queued campaigns are cancelled, running ones interrupted — their
+// coordinators answer the fleet with shutdown and get a bounded grace
+// period to drain their leases — and the archive is flushed. It blocks
+// until every campaign goroutine has finished.
+func (s *Service) Shutdown() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	for _, tenant := range s.ring {
+		for _, e := range s.queues[tenant] {
+			s.queued--
+			s.finishLocked(e, StateCancelled, "service shutdown")
+		}
+		s.queues[tenant] = nil
+	}
+	s.telQueueDepth.Set(int64(s.queued))
+	running := append([]*entry(nil), s.active...)
+	s.mu.Unlock()
+
+	for _, e := range running {
+		e.interrupt()
+	}
+	s.wg.Wait()
+	if s.store != nil {
+		s.store.Sync()
+	}
+	s.opts.Telemetry.Trace("service.shutdown", "drained")
+	s.opts.Logf("service: shut down")
+}

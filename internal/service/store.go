@@ -1,0 +1,344 @@
+// Package service implements the campaign-as-a-service layer: a
+// long-lived, multi-tenant coordinator that accepts campaign submissions
+// over HTTP, runs many campaigns concurrently against a shared worker
+// fleet, and fronts everything with a persistent content-addressed
+// result archive keyed by the campaign identity hash.
+//
+// The archive is what turns the identity hash into a cache key: all
+// execution-side choices (strategy, placement, predecode, memoization)
+// are provably outcome-invariant (DESIGN.md invariants 8–11) and
+// excluded from the hash, and the scan-archive encoding is
+// deterministic, so one identity maps to exactly one report byte
+// sequence. A duplicate submission is therefore answered from the
+// archive, byte-identical to a live scan, without touching the fleet
+// (invariant 12).
+package service
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"faultspace/internal/checkpoint"
+)
+
+// Archive entry framing, layered on the checkpoint CRC framing: a file
+// is magic, one kindEntry frame (identity + total report length), then
+// the report bytes chunked into kindData frames small enough for the
+// frame-length sanity bound.
+const (
+	storeMagic = "FAVARCH1"
+	kindEntry  = 'E'
+	kindData   = 'D'
+	// chunkSize keeps every data frame well under the checkpoint framing's
+	// payload bound (1 MiB).
+	chunkSize = 1 << 19
+	// entryExt names archive entry files: <identity-hex>.far.
+	entryExt = ".far"
+)
+
+// ErrEntry marks a structurally invalid archive entry (bad magic,
+// malformed framing, length mismatch). CRC damage and truncation keep
+// the checkpoint package's ErrCorrupt/ErrTruncated identity so torn
+// tails remain distinguishable.
+var ErrEntry = errors.New("service: malformed archive entry")
+
+// EncodeEntry encodes one archive entry file: an identity-keyed report.
+func EncodeEntry(id [32]byte, report []byte) []byte {
+	p := make([]byte, 0, 48)
+	p = append(p, id[:]...)
+	p = binary.AppendUvarint(p, uint64(len(report)))
+	out := append([]byte(storeMagic), checkpoint.AppendFrame(nil, kindEntry, p)...)
+	for off := 0; off < len(report); off += chunkSize {
+		end := off + chunkSize
+		if end > len(report) {
+			end = len(report)
+		}
+		out = checkpoint.AppendFrame(out, kindData, report[off:end])
+	}
+	return out
+}
+
+// DecodeEntry decodes an archive entry file, verifying magic, CRC frames
+// and the announced report length. Truncation surfaces as
+// checkpoint.ErrTruncated (a torn tail, recoverable by re-running the
+// campaign), CRC damage as checkpoint.ErrCorrupt.
+func DecodeEntry(data []byte) (id [32]byte, report []byte, err error) {
+	if len(data) < len(storeMagic) {
+		return id, nil, fmt.Errorf("%w: file cut before magic", checkpoint.ErrTruncated)
+	}
+	if string(data[:len(storeMagic)]) != storeMagic {
+		return id, nil, fmt.Errorf("%w: bad magic", ErrEntry)
+	}
+	kind, payload, off, err := checkpoint.ReadFrame(data, len(storeMagic))
+	if err != nil {
+		return id, nil, err
+	}
+	if kind != kindEntry {
+		return id, nil, fmt.Errorf("%w: first frame kind %q, want %q", ErrEntry, kind, byte(kindEntry))
+	}
+	if len(payload) < len(id) {
+		return id, nil, fmt.Errorf("%w: entry header cut", ErrEntry)
+	}
+	copy(id[:], payload)
+	total, n := binary.Uvarint(payload[len(id):])
+	if n <= 0 || len(id)+n != len(payload) {
+		return id, nil, fmt.Errorf("%w: bad report length", ErrEntry)
+	}
+	report = []byte{}
+	for uint64(len(report)) < total {
+		kind, payload, off, err = checkpoint.ReadFrame(data, off)
+		if err != nil {
+			return id, nil, err
+		}
+		if kind != kindData {
+			return id, nil, fmt.Errorf("%w: frame kind %q inside report, want %q", ErrEntry, kind, byte(kindData))
+		}
+		if uint64(len(report))+uint64(len(payload)) > total {
+			return id, nil, fmt.Errorf("%w: report overruns announced length %d", ErrEntry, total)
+		}
+		report = append(report, payload...)
+	}
+	if off != len(data) {
+		return id, nil, fmt.Errorf("%w: %d trailing bytes after report", ErrEntry, len(data)-off)
+	}
+	return id, report, nil
+}
+
+// storeEntry tracks one archived report on disk.
+type storeEntry struct {
+	size int64
+	used uint64 // recency sequence; smallest = least recently used
+}
+
+// Store is the on-disk content-addressed result archive: write-once
+// entries keyed by campaign identity, with an LRU size cap. One file per
+// entry keeps eviction a single unlink and bounds torn-tail damage to
+// the entry being written when the process died.
+type Store struct {
+	dir string
+	max int64 // size cap in bytes; 0 = unbounded
+
+	mu      sync.Mutex
+	entries map[[32]byte]*storeEntry
+	size    int64
+	seq     uint64
+	evicted uint64
+}
+
+// OpenStore opens (creating if necessary) an archive directory and
+// recovers its index. Entries that fail to decode — torn tails from a
+// crash mid-write, CRC damage, foreign files with the entry extension —
+// are deleted: the archive is a cache, and re-running a campaign is
+// always sound, while serving a damaged report never is. maxBytes caps
+// the total archive size; 0 means unbounded.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("service: archive: %w", err)
+	}
+	s := &Store{dir: dir, max: maxBytes, entries: make(map[[32]byte]*storeEntry)}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: archive: %w", err)
+	}
+	type found struct {
+		id    [32]byte
+		size  int64
+		mtime time.Time
+	}
+	var ok []found
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("service: archive: %w", err)
+		}
+		id, _, derr := DecodeEntry(data)
+		if derr != nil || name != hex.EncodeToString(id[:])+entryExt {
+			// Torn tail, corruption or a misnamed entry: drop it so the
+			// campaign can be re-run and re-archived cleanly.
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("service: archive: drop damaged entry: %w", err)
+			}
+			continue
+		}
+		info, err := de.Info()
+		mtime := time.Time{}
+		if err == nil {
+			mtime = info.ModTime()
+		}
+		ok = append(ok, found{id: id, size: int64(len(data)), mtime: mtime})
+	}
+	// Seed recency from mtimes so LRU order survives restarts (Get
+	// touches entries via Chtimes).
+	sort.Slice(ok, func(i, j int) bool { return ok[i].mtime.Before(ok[j].mtime) })
+	for _, f := range ok {
+		s.seq++
+		s.entries[f.id] = &storeEntry{size: f.size, used: s.seq}
+		s.size += f.size
+	}
+	return s, nil
+}
+
+func (s *Store) path(id [32]byte) string {
+	return filepath.Join(s.dir, hex.EncodeToString(id[:])+entryExt)
+}
+
+// Get returns the archived report for an identity, or (nil, false) on a
+// miss. A hit refreshes the entry's LRU recency. An entry that fails to
+// decode on read is dropped and reported as a miss.
+func (s *Store) Get(id [32]byte) ([]byte, bool) {
+	s.mu.Lock()
+	e := s.entries[id]
+	if e == nil {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.seq++
+	e.used = s.seq
+	s.mu.Unlock()
+
+	path := s.path(id)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var gotID [32]byte
+		var report []byte
+		if gotID, report, err = DecodeEntry(data); err == nil && gotID == id {
+			// Touch the file so recency survives a restart; best effort.
+			now := time.Now()
+			os.Chtimes(path, now, now)
+			return report, true
+		}
+	}
+	s.mu.Lock()
+	if cur := s.entries[id]; cur != nil {
+		delete(s.entries, id)
+		s.size -= cur.size
+	}
+	s.mu.Unlock()
+	os.Remove(path)
+	return nil, false
+}
+
+// Put archives a report under its identity. Entries are write-once: a
+// Put for an existing identity is a no-op (the encoding is
+// deterministic, so the bytes could not differ). The write is atomic —
+// temp file, fsync, rename, directory fsync — so a crash leaves either
+// no entry or a complete one; a torn temp file is swept by OpenStore.
+func (s *Store) Put(id [32]byte, report []byte) error {
+	s.mu.Lock()
+	if s.entries[id] != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	data := EncodeEntry(id, report)
+	path := s.path(id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("service: archive: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: archive: %w", err)
+	}
+	syncDir(s.dir)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries[id] == nil {
+		s.seq++
+		s.entries[id] = &storeEntry{size: int64(len(data)), used: s.seq}
+		s.size += int64(len(data))
+	}
+	s.evictLocked(id)
+	return nil
+}
+
+// evictLocked unlinks least-recently-used entries until the archive fits
+// the size cap again. The entry just written (keep) is exempt, so a
+// single oversized report still gets archived rather than thrashing.
+func (s *Store) evictLocked(keep [32]byte) {
+	if s.max <= 0 {
+		return
+	}
+	for s.size > s.max {
+		var victim [32]byte
+		var ve *storeEntry
+		for id, e := range s.entries {
+			if id == keep {
+				continue
+			}
+			if ve == nil || e.used < ve.used {
+				victim, ve = id, e
+			}
+		}
+		if ve == nil {
+			return
+		}
+		delete(s.entries, victim)
+		s.size -= ve.size
+		s.evicted++
+		os.Remove(s.path(victim))
+	}
+}
+
+// Len returns the number of archived reports.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Size returns the total archive size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Evicted returns the number of entries evicted by the size cap since
+// the store was opened.
+func (s *Store) Evicted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Sync fsyncs the archive directory — the shutdown flush. Every Put is
+// already individually durable; this only pins down the final directory
+// state.
+func (s *Store) Sync() {
+	syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory, best effort (not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
