@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race race-service fuzz-smoke bench bench-telemetry
+.PHONY: check vet build test race race-service race-spaces fuzz-smoke bench bench-telemetry
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race race-service fuzz-smoke bench-telemetry
+check: vet build test race race-service race-spaces fuzz-smoke bench-telemetry
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,16 @@ race:
 race-service:
 	$(GO) test -race -count=2 ./internal/service
 
+# The attack-style fault models (instruction skip, PC corruption,
+# multi-bit bursts) under the race detector: the objective-carrying
+# strategy matrix and skip/burst interrupt+resume in the root package,
+# plus the attack-space fleet/archive paths of the campaign service —
+# -count=2 shakes out ordering-dependent races, exactly like
+# race-service.
+race-spaces:
+	$(GO) test -race -count=2 -run='TestObjectiveStrategyEquivalence|TestInterruptResumeAttackSpaces|TestOracleRandomCoordinates' . ./internal/experiments
+	$(GO) test -race -count=2 -run='TestInvariant12ArchiveHitAttackSpaces' ./internal/service
+
 # A short deterministic-corpus + 10s randomized smoke of the attack
 # surfaces: the binary decoders exposed to untrusted bytes
 # (corrupted checkpoint files, mutated cluster wire frames and damaged
@@ -35,13 +45,18 @@ race-service:
 # snapshot state bit-for-bit), and the predecode fast path under
 # self-modifying stores and code-region bit flips (the pre-decoded
 # dispatch stream must stay lockstep-identical to the plain decoder
-# through precise invalidation).
+# through precise invalidation). The attack-space coordinate codecs are
+# covered the same way: the burst (k, pos) decoder must reject or decode
+# to an exact adjacent mask, and skip-space class lists must survive the
+# archive/wire FromClasses round trip.
 fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzCheckpointDecode -fuzztime=10s
 	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
 	$(GO) test ./internal/service -run='^$$' -fuzz=FuzzArchiveEntryDecode -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzDeltaRestore -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzPredecodeSelfModify -fuzztime=10s
+	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzBurstMaskDecode -fuzztime=10s
+	$(GO) test ./internal/pruning -run='^$$' -fuzz=FuzzSkipCoordinateRoundTrip -fuzztime=10s
 
 # A short run of the instrument-overhead benchmark: the disabled
 # (nil-registry) fast path must stay allocation-free, which -benchmem

@@ -27,6 +27,13 @@ type Analysis struct {
 	FailClasses uint64 // unweighted: failed experiments
 	FailWeight  uint64 // weighted: the paper's comparison metric F
 
+	// Attack counts under the campaign's attacker objective (both zero
+	// when the scan ran without one). AttackWeight is the attack-surface
+	// analogue of FailWeight: the extrapolated number of raw (cycle, bit)
+	// coordinates at which the fault achieves the objective.
+	AttackClasses uint64
+	AttackWeight  uint64
+
 	// Coverage numbers, all of the form 1 − F/N with different (F, N):
 	CoverageWeighted      float64 // F = FailWeight,  N = w            (correct accounting)
 	CoverageUnweighted    float64 // F = FailClasses, N = Classes      (Pitfall 1)
@@ -49,6 +56,8 @@ func Analyze(r *ScanResult) (Analysis, error) {
 		KnownNoEffect:  r.Space.KnownNoEffect,
 		FailClasses:    r.FailureClasses(),
 		FailWeight:     r.FailureWeight(),
+		AttackClasses:  r.AttackClasses(),
+		AttackWeight:   r.AttackWeight(),
 		ClassCounts:    r.ClassCounts(),
 		WeightedCounts: r.FullSpaceCounts(),
 	}

@@ -140,3 +140,63 @@ func TestScanAllRegisteredBenchmarks(t *testing.T) {
 		}
 	}
 }
+
+// TestScanOptionsSpaceValidation pins the admission-time space check: an
+// unknown SpaceKind — e.g. a campaign built by a newer client submitted
+// to an older binary — must fail loudly instead of silently scanning
+// SpaceMemory.
+func TestScanOptionsSpaceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   SpaceKind
+		want SpaceKind
+		ok   bool
+	}{
+		{"zero-defaults-to-memory", 0, SpaceMemory, true},
+		{"memory", SpaceMemory, SpaceMemory, true},
+		{"registers", SpaceRegisters, SpaceRegisters, true},
+		{"skip", SpaceSkip, SpaceSkip, true},
+		{"pc", SpacePC, SpacePC, true},
+		{"burst2", SpaceBurst2, SpaceBurst2, true},
+		{"burst4", SpaceBurst4, SpaceBurst4, true},
+		{"one-past-last", SpaceBurst4 + 1, 0, false},
+		{"garbage", SpaceKind(99), 0, false},
+		{"max", SpaceKind(255), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ScanOptions{Space: tc.in}.space()
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("space() = %v, want %v", err, tc.want)
+				}
+				if got != tc.want {
+					t.Fatalf("space() = %v, want %v", got, tc.want)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("space() accepted unknown kind %d as %v", tc.in, got)
+			}
+			if !strings.Contains(err.Error(), "unknown fault-space kind") {
+				t.Fatalf("space() error %q does not name the failure", err)
+			}
+		})
+	}
+
+	// The validation must reach every public entry point.
+	p, err := progs.Hi().Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ScanOptions{Space: SpaceKind(42)}
+	if _, err := Scan(p, bad); err == nil {
+		t.Error("Scan accepted an unknown space kind")
+	}
+	if _, err := CampaignIdentity(p, bad); err == nil {
+		t.Error("CampaignIdentity accepted an unknown space kind")
+	}
+	if _, err := Sample(p, SampleOptions{ScanOptions: bad, N: 1}); err == nil {
+		t.Error("Sample accepted an unknown space kind")
+	}
+}

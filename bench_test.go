@@ -232,10 +232,14 @@ func BenchmarkExtensionMechanisms(b *testing.B) {
 // BenchmarkFullScan, emitted to BENCH_scan.json by TestMain so the scan
 // hot path's perf trajectory is tracked from PR to PR.
 type scanBenchResult struct {
-	Benchmark string  `json:"benchmark"`
-	Strategy  string  `json:"strategy"`
-	Classes   int     `json:"classes"`
-	NsPerOp   float64 `json:"ns_per_op"`
+	Benchmark string `json:"benchmark"`
+	Strategy  string `json:"strategy"`
+	// Space names the fault-space kind for non-memory variants (the
+	// attack-style models have very different class counts and
+	// per-experiment costs, so they are tracked as their own rows).
+	Space   string  `json:"space,omitempty"`
+	Classes int     `json:"classes"`
+	NsPerOp float64 `json:"ns_per_op"`
 	// Counters holds the run's telemetry counters normalized per scan
 	// (experiments, strategy shortcuts, pool reuse), so the perf log also
 	// tracks *how* each strategy reached its timing.
@@ -264,7 +268,7 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// --- Ablation benchmarks (DESIGN.md §6) ---
+// --- Ablation benchmarks (DESIGN.md §8) ---
 
 // scanBenchSizes are larger than benchSizes on purpose: the executor
 // benchmark needs golden traces long enough that per-experiment
@@ -279,7 +283,7 @@ var scanBenchSizes = experiments.Figure2Config{
 // BenchmarkFullScan times the complete full-scan pipeline per execution
 // strategy on the two Figure-2 kernels. This is the headline executor
 // benchmark: the ladder strategy must beat rerun by ≥ 2× here (see
-// DESIGN.md §6), and its timings feed BENCH_scan.json.
+// DESIGN.md §8), and its timings feed BENCH_scan.json.
 func BenchmarkFullScan(b *testing.B) {
 	benches := []struct {
 		name string
@@ -313,49 +317,84 @@ func BenchmarkFullScan(b *testing.B) {
 		}
 		for _, st := range strategies {
 			b.Run(bench.name+"/"+st.name, func(b *testing.B) {
-				// The scans run instrumented: telemetry is designed to be
-				// free (see BenchmarkTelemetryOverhead), and its counters
-				// land in BENCH_scan.json next to the timing they explain.
-				reg := faultspace.NewTelemetry()
-				classes := 0
-				for i := 0; i < b.N; i++ {
-					res, err := faultspace.Scan(p, faultspace.ScanOptions{
-						Strategy:  st.strat,
-						Predecode: st.predecode,
-						Memo:      st.memo,
-						Telemetry: reg,
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					classes = len(res.Outcomes)
-				}
-				counters := make(map[string]float64)
-				for name, v := range reg.Snapshot().Counters {
-					counters[name] = float64(v) / float64(b.N)
-				}
-				r := scanBenchResult{
-					Benchmark: bench.name,
-					Strategy:  st.name,
-					Classes:   classes,
-					NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-					Counters:  counters,
-				}
-				// The framework re-runs each sub-benchmark while
-				// calibrating b.N; keep only the final (longest) run.
-				scanBench.Lock()
-				for i := range scanBench.results {
-					if scanBench.results[i].Benchmark == r.Benchmark &&
-						scanBench.results[i].Strategy == r.Strategy {
-						scanBench.results = append(scanBench.results[:i], scanBench.results[i+1:]...)
-						break
-					}
-				}
-				scanBench.results = append(scanBench.results, r)
-				scanBench.Unlock()
+				runFullScanBench(b, p, bench.name, st.name, faultspace.ScanOptions{
+					Strategy:  st.strat,
+					Predecode: st.predecode,
+					Memo:      st.memo,
+				})
 			})
 		}
 	}
+
+	// Attack-space variants: the instruction-skip, PC-corruption and
+	// multi-bit burst models under the recommended accelerated
+	// configuration, tracked as their own BENCH_scan.json rows.
+	spaces := []struct {
+		name  string
+		space faultspace.SpaceKind
+	}{
+		{"skip", faultspace.SpaceSkip},
+		{"pc", faultspace.SpacePC},
+		{"burst2", faultspace.SpaceBurst2},
+		{"burst4", faultspace.SpaceBurst4},
+	}
+	p, err := benches[0].spec.Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sp := range spaces {
+		b.Run(benches[0].name+"/"+sp.name+"/snapshot+pre", func(b *testing.B) {
+			runFullScanBench(b, p, benches[0].name, "snapshot+pre", faultspace.ScanOptions{
+				Space:     sp.space,
+				Predecode: true,
+			})
+		})
+	}
+}
+
+// runFullScanBench times one scan configuration and records the result
+// (with its per-op telemetry counters) for BENCH_scan.json.
+func runFullScanBench(b *testing.B, p *faultspace.Program, benchName, stratName string, opts faultspace.ScanOptions) {
+	// The scans run instrumented: telemetry is designed to be free (see
+	// BenchmarkTelemetryOverhead), and its counters land in
+	// BENCH_scan.json next to the timing they explain.
+	reg := faultspace.NewTelemetry()
+	opts.Telemetry = reg
+	classes := 0
+	for i := 0; i < b.N; i++ {
+		res, err := faultspace.Scan(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes = len(res.Outcomes)
+	}
+	counters := make(map[string]float64)
+	for name, v := range reg.Snapshot().Counters {
+		counters[name] = float64(v) / float64(b.N)
+	}
+	r := scanBenchResult{
+		Benchmark: benchName,
+		Strategy:  stratName,
+		Classes:   classes,
+		NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Counters:  counters,
+	}
+	if opts.Space != 0 && opts.Space != faultspace.SpaceMemory {
+		r.Space = opts.Space.String()
+	}
+	// The framework re-runs each sub-benchmark while calibrating b.N;
+	// keep only the final (longest) run.
+	scanBench.Lock()
+	defer scanBench.Unlock()
+	for i := range scanBench.results {
+		if scanBench.results[i].Benchmark == r.Benchmark &&
+			scanBench.results[i].Strategy == r.Strategy &&
+			scanBench.results[i].Space == r.Space {
+			scanBench.results = append(scanBench.results[:i], scanBench.results[i+1:]...)
+			break
+		}
+	}
+	scanBench.results = append(scanBench.results, r)
 }
 
 // BenchmarkAblationSnapshotVsRerun compares the two experiment-execution

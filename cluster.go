@@ -69,11 +69,18 @@ type ServeOptions struct {
 // returns the partial result with ErrInterrupted.
 func ServeScan(p *Program, addr string, opts ServeOptions) (*ScanResult, error) {
 	t := Target(p)
-	golden, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
+	kind, err := opts.space()
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: %w", err)
 	}
-	cfg := opts.campaignConfig()
+	golden, fs, err := t.PrepareSpace(kind, opts.maxGolden())
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	cfg, err := opts.campaignConfig()
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
 
 	var w *checkpoint.Writer
 	var prior map[int]campaign.Outcome
@@ -91,7 +98,7 @@ func ServeScan(p *Program, addr string, opts ServeOptions) (*ScanResult, error) 
 			}
 			prior = make(map[int]campaign.Outcome, len(raw))
 			for ci, o := range raw {
-				if int(o) >= campaign.NumOutcomes {
+				if !campaign.Outcome(o).Known() {
 					w.Close()
 					return nil, fmt.Errorf("faultspace: checkpoint class %d has unknown outcome %d", ci, o)
 				}

@@ -65,7 +65,8 @@ func run(args []string, w, errW io.Writer) error {
 		ladderIv = fs.Uint64("ladder-interval", 0, "rung spacing in cycles for -strategy ladder (0 = auto-tune)")
 		predec   = fs.Bool("predecode", true, "execute via the pre-decoded dispatch stream (outcome-invariant; -predecode=false for the plain decoder)")
 		memo     = fs.Bool("memo", false, "memoize experiment remainders across the campaign (outcome-invariant, invariant 11)")
-		space    = fs.String("space", "memory", "fault space: memory or registers (§VI-B)")
+		space    = fs.String("space", "memory", "fault space: memory, registers (§VI-B), skip, pc, burst2 or burst4")
+		objFl    = fs.String("objective", "", "attacker objective evaluated on every outcome: bypass, corrupt or dos (default none)")
 		workers  = fs.Int("workers", 0, "parallel experiment executors (0 = GOMAXPROCS)")
 		serve    = fs.String("serve", "", "coordinate a distributed scan: serve work units on this address")
 		join     = fs.String("join", "", "join a distributed scan as a worker of the coordinator at this address")
@@ -101,6 +102,9 @@ func run(args []string, w, errW io.Writer) error {
 	// the valid options, not deep inside a campaign.
 	spaceKind, err := parseSpace(*space)
 	if err != nil {
+		return err
+	}
+	if err := validObjective(*objFl); err != nil {
 		return err
 	}
 	strat, err := parseStrategy(*strategy, *rerun)
@@ -239,6 +243,7 @@ func run(args []string, w, errW io.Writer) error {
 		Predecode:      *predec,
 		Memo:           *memo,
 		Space:          spaceKind,
+		Objective:      *objFl,
 	}
 	if *progress {
 		opts.OnProgress = progressPrinter(errW)
@@ -438,9 +443,31 @@ func parseSpace(s string) (faultspace.SpaceKind, error) {
 		return faultspace.SpaceMemory, nil
 	case "registers", "regs":
 		return faultspace.SpaceRegisters, nil
+	case "skip":
+		return faultspace.SpaceSkip, nil
+	case "pc":
+		return faultspace.SpacePC, nil
+	case "burst2":
+		return faultspace.SpaceBurst2, nil
+	case "burst4":
+		return faultspace.SpaceBurst4, nil
 	default:
-		return 0, fmt.Errorf("unknown fault space %q (valid: memory, registers)", s)
+		return 0, fmt.Errorf("unknown fault space %q (valid: memory, registers, skip, pc, burst2, burst4)", s)
 	}
+}
+
+// validObjective validates the -objective flag value, failing fast with
+// the valid names on a typo.
+func validObjective(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range faultspace.ObjectiveNames() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown objective %q (valid: %s)", name, strings.Join(faultspace.ObjectiveNames(), ", "))
 }
 
 // parseStrategy validates the -strategy flag value and reconciles it
@@ -553,6 +580,10 @@ func printAnalysis(w io.Writer, a faultspace.Analysis, csv bool) error {
 	tbl.AddRow("known No Effect (pruned)", a.KnownNoEffect)
 	tbl.AddRow("failures, weighted (the paper's F)", a.FailWeight)
 	tbl.AddRow("failures, unweighted classes", a.FailClasses)
+	if a.AttackClasses > 0 || a.AttackWeight > 0 {
+		tbl.AddRow("attack successes, weighted", a.AttackWeight)
+		tbl.AddRow("attack successes, unweighted classes", a.AttackClasses)
+	}
 	tbl.AddRow("coverage, weighted", fmt.Sprintf("%.4f", a.CoverageWeighted))
 	tbl.AddRow("coverage, unweighted (Pitfall 1)", fmt.Sprintf("%.4f", a.CoverageUnweighted))
 	tbl.AddRow("coverage, activated-only", fmt.Sprintf("%.4f", a.CoverageActivatedOnly))
@@ -592,6 +623,9 @@ func printSample(w io.Writer, name string, sr *campaign.SampleResult, csv bool) 
 	tbl.AddRow("experiments executed", sr.Experiments)
 	tbl.AddRow("sampled failures", sr.Failures())
 	tbl.AddRow("extrapolated failures (Corollary 2)", fmt.Sprintf("%.1f", sr.ExtrapolatedFailures()))
+	if sr.Attacks > 0 {
+		tbl.AddRow("sampled attack successes", sr.Attacks)
+	}
 	for o := 0; o < campaign.NumOutcomes; o++ {
 		if sr.Counts[o] > 0 {
 			tbl.AddRow("  "+campaign.Outcome(o).String(), sr.Counts[o])

@@ -85,7 +85,8 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 	for _, name := range progs.Names() {
 		t.Run(name, func(t *testing.T) {
 			prog := equivProgram(t, name)
-			for _, space := range []SpaceKind{SpaceMemory, SpaceRegisters} {
+			for _, space := range []SpaceKind{SpaceMemory, SpaceRegisters,
+				SpaceSkip, SpacePC, SpaceBurst2, SpaceBurst4} {
 				rerun, err := Scan(prog, ScanOptions{Space: space, Strategy: StrategyRerun})
 				if err != nil {
 					t.Fatal(err)
@@ -160,6 +161,46 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 	}
 }
 
+// TestObjectiveStrategyEquivalence pins the objective soundness contract
+// down differentially: under an attacker objective the attack flags are
+// part of the recorded outcome, and every strategy/accelerator must
+// still archive byte-identically to the plain rerun reference. The PC
+// space is the sharp case — its classes are only outcome-equivalent, so
+// a predicate peeking at non-invariant observables would diverge here.
+func TestObjectiveStrategyEquivalence(t *testing.T) {
+	prog := equivProgram(t, "bin_sem2")
+	for _, space := range []SpaceKind{SpacePC, SpaceSkip, SpaceBurst2} {
+		for _, obj := range ObjectiveNames() {
+			rerun, err := Scan(prog, ScanOptions{Space: space, Strategy: StrategyRerun, Objective: obj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := scanBytes(t, rerun)
+			for _, strat := range []Strategy{StrategySnapshot, StrategyLadder} {
+				label := fmt.Sprintf("%s/%s/%v", space, obj, strat)
+				got, err := Scan(prog, ScanOptions{Space: space, Strategy: strat,
+					Predecode: true, Memo: true, Objective: obj})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertSameOutcomes(t, label, rerun, got)
+				if !bytes.Equal(scanBytes(t, got), ref) {
+					t.Errorf("%s: archived reports are not byte-identical", label)
+				}
+			}
+			// The objective changes recorded outcomes, so it must change
+			// the campaign identity (unlike the accelerator knobs).
+			plain, err := CampaignIdentity(prog, ScanOptions{Space: space})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rerun.Identity == plain {
+				t.Errorf("%s/%s: objective campaigns must not share the plain identity", space, obj)
+			}
+		}
+	}
+}
+
 // TestInterruptResumeEquivalence interrupts a scan at ~50%, resumes it
 // from its checkpoint under a different strategy, and requires the
 // resumed result to match an uninterrupted scan bit-for-bit — the
@@ -167,49 +208,71 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 func TestInterruptResumeEquivalence(t *testing.T) {
 	for _, name := range progs.Names() {
 		t.Run(name, func(t *testing.T) {
-			prog := equivProgram(t, name)
-			full, err := Scan(prog, ScanOptions{})
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			ck := filepath.Join(t.TempDir(), name+".ckpt")
-			intCh := make(chan struct{})
-			var once sync.Once
-			partial, err := Scan(prog, ScanOptions{
-				Workers:          1,
-				Checkpoint:       ck,
-				ProgressInterval: -1,
-				OnProgress: func(p Progress) {
-					if p.Done >= p.Total/2 && p.Done > 0 {
-						once.Do(func() { close(intCh) })
-					}
-				},
-				Interrupt: intCh,
-			})
-			if !errors.Is(err, ErrInterrupted) {
-				t.Fatalf("interrupted scan: err = %v, want ErrInterrupted", err)
-			}
-			if partial == nil {
-				t.Fatal("interrupted scan must return its partial result")
-			}
-			// Resume under the ladder strategy: the first half ran under
-			// snapshot, and the checkpoint must not care.
-			resumed, err := Scan(prog, ScanOptions{
-				Checkpoint: ck,
-				Resume:     true,
-				Strategy:   StrategyLadder,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			assertSameOutcomes(t, "interrupted+resumed vs uninterrupted", full, resumed)
-			if resumed.Identity != full.Identity {
-				t.Error("resumed scan must keep the campaign identity")
-			}
-			if !bytes.Equal(scanBytes(t, resumed), scanBytes(t, full)) {
-				t.Error("resumed archive is not byte-identical to an uninterrupted scan's")
-			}
+			testInterruptResume(t, equivProgram(t, name), ScanOptions{})
 		})
+	}
+}
+
+// TestInterruptResumeAttackSpaces is the same invariant under the
+// attack-style fault models: a skip campaign under the dos objective
+// (attack-flagged outcome bytes must survive the checkpoint round trip)
+// and a plain burst campaign.
+func TestInterruptResumeAttackSpaces(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts ScanOptions
+	}{
+		{"skip+dos", ScanOptions{Space: SpaceSkip, Objective: "dos"}},
+		{"burst2", ScanOptions{Space: SpaceBurst2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testInterruptResume(t, equivProgram(t, "bin_sem2"), tc.opts)
+		})
+	}
+}
+
+func testInterruptResume(t *testing.T, prog *Program, opts ScanOptions) {
+	t.Helper()
+	full, err := Scan(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := filepath.Join(t.TempDir(), "scan.ckpt")
+	intCh := make(chan struct{})
+	var once sync.Once
+	popts := opts
+	popts.Workers = 1
+	popts.Checkpoint = ck
+	popts.ProgressInterval = -1
+	popts.OnProgress = func(p Progress) {
+		if p.Done >= p.Total/2 && p.Done > 0 {
+			once.Do(func() { close(intCh) })
+		}
+	}
+	popts.Interrupt = intCh
+	partial, err := Scan(prog, popts)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted scan: err = %v, want ErrInterrupted", err)
+	}
+	if partial == nil {
+		t.Fatal("interrupted scan must return its partial result")
+	}
+	// Resume under the ladder strategy: the first half ran under
+	// snapshot, and the checkpoint must not care.
+	ropts := opts
+	ropts.Checkpoint = ck
+	ropts.Resume = true
+	ropts.Strategy = StrategyLadder
+	resumed, err := Scan(prog, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcomes(t, "interrupted+resumed vs uninterrupted", full, resumed)
+	if resumed.Identity != full.Identity {
+		t.Error("resumed scan must keep the campaign identity")
+	}
+	if !bytes.Equal(scanBytes(t, resumed), scanBytes(t, full)) {
+		t.Error("resumed archive is not byte-identical to an uninterrupted scan's")
 	}
 }

@@ -77,6 +77,17 @@ const (
 	// SpaceRegisters is the §VI-B generalization: flips in the CPU
 	// register file.
 	SpaceRegisters = pruning.SpaceRegisters
+	// SpaceSkip is the attack-style instruction-skip model: the
+	// instruction at each slot is suppressed (one per-slot coordinate,
+	// Bits = 1).
+	SpaceSkip = pruning.SpaceSkip
+	// SpacePC is the attack-style program-counter model: a single-bit
+	// flip in the 32-bit PC at each slot boundary.
+	SpacePC = pruning.SpacePC
+	// SpaceBurst2 and SpaceBurst4 are multi-bit burst models: k adjacent
+	// bits of one RAM byte invert at once (k = 2 and 4).
+	SpaceBurst2 = pruning.SpaceBurst2
+	SpaceBurst4 = pruning.SpaceBurst4
 )
 
 // Strategy selects how scan experiments re-reach their injection slot.
@@ -159,6 +170,11 @@ type ScanOptions struct {
 	MaxGoldenCycles uint64
 	// Space selects the fault space (default SpaceMemory).
 	Space SpaceKind
+	// Objective names an attacker-objective predicate ("" = none; see
+	// ObjectiveNames for the builtins). Outcomes satisfying the objective
+	// carry the attack flag; unlike the execution knobs this CHANGES the
+	// recorded outcomes, so the name is part of the campaign identity.
+	Objective string
 
 	// Checkpoint, when non-empty, streams every completed experiment into
 	// the crash-safe checkpoint file at this path (see internal/checkpoint
@@ -194,7 +210,11 @@ type ScanOptions struct {
 // MaxGoldenCycles zero.
 const DefaultMaxGoldenCycles = 1 << 22
 
-func (o ScanOptions) campaignConfig() campaign.Config {
+func (o ScanOptions) campaignConfig() (campaign.Config, error) {
+	obj, err := campaign.ObjectiveByName(o.Objective)
+	if err != nil {
+		return campaign.Config{}, err
+	}
 	cfg := campaign.Config{
 		TimeoutFactor:    o.TimeoutFactor,
 		Workers:          o.Workers,
@@ -202,6 +222,7 @@ func (o ScanOptions) campaignConfig() campaign.Config {
 		LadderInterval:   o.LadderInterval,
 		Predecode:        o.Predecode,
 		Memo:             o.Memo,
+		Objective:        obj,
 		OnProgress:       o.OnProgress,
 		ProgressInterval: o.ProgressInterval,
 		Interrupt:        o.Interrupt,
@@ -210,7 +231,7 @@ func (o ScanOptions) campaignConfig() campaign.Config {
 	if cfg.Strategy == 0 && o.Rerun {
 		cfg.Strategy = campaign.StrategyRerun
 	}
-	return cfg
+	return cfg, nil
 }
 
 func (o ScanOptions) maxGolden() uint64 {
@@ -220,12 +241,22 @@ func (o ScanOptions) maxGolden() uint64 {
 	return o.MaxGoldenCycles
 }
 
-func (o ScanOptions) space() SpaceKind {
+// space resolves the fault-space kind, rejecting unknown values instead
+// of silently defaulting them to SpaceMemory: a typo'd kind must never
+// quietly scan the wrong space.
+func (o ScanOptions) space() (SpaceKind, error) {
 	if o.Space == 0 {
-		return SpaceMemory
+		return SpaceMemory, nil
 	}
-	return o.Space
+	if !o.Space.Valid() {
+		return 0, fmt.Errorf("unknown fault-space kind %d", o.Space)
+	}
+	return o.Space, nil
 }
+
+// ObjectiveNames lists the builtin attacker-objective names accepted by
+// ScanOptions.Objective, sorted.
+func ObjectiveNames() []string { return campaign.ObjectiveNames() }
 
 // MachineConfig derives the simulator configuration of a program.
 func MachineConfig(p *Program) machine.Config {
@@ -253,11 +284,18 @@ func Target(p *Program) campaign.Target {
 // previous campaign's checkpoint is continued instead of restarted.
 func Scan(p *Program, opts ScanOptions) (*ScanResult, error) {
 	t := Target(p)
-	golden, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
+	kind, err := opts.space()
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: %w", err)
 	}
-	cfg := opts.campaignConfig()
+	golden, fs, err := t.PrepareSpace(kind, opts.maxGolden())
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	cfg, err := opts.campaignConfig()
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
 	if opts.Checkpoint == "" {
 		res, err := campaign.ResumeScan(t, golden, fs, cfg, nil)
 		if err != nil {
@@ -290,7 +328,7 @@ func scanCheckpointed(t campaign.Target, golden *Golden, fs *FaultSpace, cfg cam
 		}
 		prior = make(map[int]campaign.Outcome, len(raw))
 		for ci, o := range raw {
-			if int(o) >= campaign.NumOutcomes {
+			if !campaign.Outcome(o).Known() {
 				w.Close()
 				return nil, fmt.Errorf("faultspace: checkpoint class %d has unknown outcome %d", ci, o)
 			}
@@ -324,7 +362,15 @@ func scanCheckpointed(t campaign.Target, golden *Golden, fs *FaultSpace, cfg cam
 // this program and options — the key binding checkpoints and archives to
 // their campaign (see campaign.Target.CampaignIdentity).
 func CampaignIdentity(p *Program, opts ScanOptions) ([32]byte, error) {
-	return Target(p).CampaignIdentity(opts.space(), opts.campaignConfig())
+	kind, err := opts.space()
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("faultspace: %w", err)
+	}
+	cfg, err := opts.campaignConfig()
+	if err != nil {
+		return [32]byte{}, fmt.Errorf("faultspace: %w", err)
+	}
+	return Target(p).CampaignIdentity(kind, cfg)
 }
 
 // SampleOptions parameterizes Sample.
@@ -345,7 +391,11 @@ type SampleOptions struct {
 // Sample runs a sampling campaign over the program's fault space.
 func Sample(p *Program, opts SampleOptions) (*campaign.SampleResult, error) {
 	t := Target(p)
-	golden, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
+	kind, err := opts.space()
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	golden, fs, err := t.PrepareSpace(kind, opts.maxGolden())
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: %w", err)
 	}
@@ -358,7 +408,11 @@ func Sample(p *Program, opts SampleOptions) (*campaign.SampleResult, error) {
 	case opts.Effective:
 		mode = campaign.SampleEffective
 	}
-	sr, err := campaign.SampleScan(t, golden, fs, opts.campaignConfig(), mode, opts.N, opts.Seed)
+	cfg, err := opts.campaignConfig()
+	if err != nil {
+		return nil, fmt.Errorf("faultspace: %w", err)
+	}
+	sr, err := campaign.SampleScan(t, golden, fs, cfg, mode, opts.N, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("faultspace: %w", err)
 	}

@@ -114,6 +114,14 @@ func Decode(r io.Reader) (*campaign.Result, error) {
 		kind = pruning.SpaceMemory
 	case pruning.SpaceRegisters.String():
 		kind = pruning.SpaceRegisters
+	case pruning.SpaceSkip.String():
+		kind = pruning.SpaceSkip
+	case pruning.SpacePC.String():
+		kind = pruning.SpacePC
+	case pruning.SpaceBurst2.String():
+		kind = pruning.SpaceBurst2
+	case pruning.SpaceBurst4.String():
+		kind = pruning.SpaceBurst4
 	default:
 		return nil, fmt.Errorf("archive: unknown fault space %q in archive", a.Space)
 	}
@@ -122,7 +130,7 @@ func Decode(r io.Reader) (*campaign.Result, error) {
 	outcomes := make([]campaign.Outcome, len(a.Classes))
 	for i, c := range a.Classes {
 		classes[i] = pruning.Class{Bit: c.Bit, DefCycle: c.Def, UseCycle: c.Use}
-		if int(c.Outcome) >= campaign.NumOutcomes {
+		if !campaign.Outcome(c.Outcome).Known() {
 			return nil, fmt.Errorf("archive: archive class %d has unknown outcome %d", i, c.Outcome)
 		}
 		outcomes[i] = campaign.Outcome(c.Outcome)

@@ -39,7 +39,10 @@ func (t Target) CampaignIdentity(kind pruning.SpaceKind, cfg Config) ([32]byte, 
 		u64(uint64(len(s)))
 		h.Write([]byte(s))
 	}
-	str("faultspace campaign identity v1")
+	// v2 added the attacker-objective name: the objective changes the
+	// recorded outcomes (the AttackFlag bit), so campaigns with different
+	// objectives must never share checkpoints or archive entries.
+	str("faultspace campaign identity v2")
 	str(t.Name)
 	u64(uint64(len(code)))
 	h.Write(code)
@@ -52,6 +55,11 @@ func (t Target) CampaignIdentity(kind pruning.SpaceKind, cfg Config) ([32]byte, 
 	u64(uint64(kind))
 	u64(math.Float64bits(cfg.TimeoutFactor))
 	u64(cfg.TimeoutSlack)
+	if cfg.Objective != nil {
+		str(cfg.Objective.Name)
+	} else {
+		str("")
+	}
 	var id [32]byte
 	copy(id[:], h.Sum(nil))
 	return id, nil

@@ -248,10 +248,10 @@ func (mr *memoRun) populateComposed(m *machine.Machine, status machine.Status, e
 // finish classifies normally and back-fills entries for every miss.
 // Disabled memoization (mr == nil) takes the one-call fast path — the
 // exact pre-memo code — so the feature costs nothing when off.
-func memoTail(m *machine.Machine, golden *trace.Golden, budget, interval uint64, mr *memoRun) Outcome {
+func memoTail(m *machine.Machine, golden *trace.Golden, budget, interval uint64, obj *Objective, mr *memoRun) Outcome {
 	if mr == nil {
 		m.Run(budget)
-		return classify(m, golden)
+		return classify(m, golden, obj)
 	}
 	mr.reset()
 	for m.Status() == machine.StatusRunning && !mr.exhausted() {
@@ -266,14 +266,14 @@ func memoTail(m *machine.Machine, golden *trace.Golden, budget, interval uint64,
 			break
 		}
 		if e, hit := mr.probe(m); hit {
-			o := composeOutcome(e.status, e.exc, m.SerialView(), e.serial,
+			o := composeOutcome(obj, e.status, e.exc, m.SerialView(), e.serial,
 				m.DetectCount()+e.detects, m.CorrectCount()+e.corrects, golden)
 			mr.populateComposed(m, e.status, e.exc, e.serial, e.detects, e.corrects)
 			return o
 		}
 	}
 	m.Run(budget)
-	o := classify(m, golden)
+	o := classify(m, golden, obj)
 	mr.populate(m)
 	return o
 }

@@ -265,7 +265,7 @@ func TestMemoDisabledAllocFree(t *testing.T) {
 		if err := m.FlipBit(bit); err != nil {
 			t.Fatal(err)
 		}
-		if o := memoTail(m, golden, budget, 0, nil); int(o) >= NumOutcomes {
+		if o := memoTail(m, golden, budget, 0, nil, nil); int(o) >= NumOutcomes {
 			t.Fatalf("bad outcome %d", o)
 		}
 	}

@@ -54,7 +54,7 @@ func RunMulti(t Target, golden *trace.Golden, cfg Config, kind pruning.SpaceKind
 			// A fault injected earlier may have terminated the run before
 			// the next injection slot; remaining flips then cannot land.
 			if m.Status() != machine.StatusRunning {
-				return classify(m, golden), nil
+				return classify(m, golden, cfg.Objective), nil
 			}
 		}
 		if err := flip(m, c.Bit); err != nil {
@@ -62,5 +62,5 @@ func RunMulti(t Target, golden *trace.Golden, cfg Config, kind pruning.SpaceKind
 		}
 	}
 	m.Run(budget)
-	return classify(m, golden), nil
+	return classify(m, golden, cfg.Objective), nil
 }

@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"faultspace/internal/machine"
+	"faultspace/internal/trace"
+)
+
+// Attacker objectives reclassify experiment outcomes along a second,
+// security-oriented axis: besides the paper's benign/failure taxonomy,
+// each experiment is judged attack-success or not against a named
+// predicate ("did the fault bypass the hardened check?"). The verdict is
+// carried as the AttackFlag bit on the Outcome itself, so it flows
+// through checkpoints, the cluster wire protocol and result archives
+// without any format change.
+//
+// Soundness contract: scan strategies classify one representative
+// experiment per equivalence class. Memory/register/burst classes are
+// state-equivalent at their use point, but PC-corruption classes group
+// runs that are only OUTCOME-equivalent (they all fault straight into
+// ExcBadPC with different serial prefixes). Objective predicates are
+// therefore evaluated on observables that are provably equal across all
+// members of any class: for non-halted runs the ObjectiveObs carries
+// only (Status, Exc, Base) — serial length and counters are zeroed —
+// and for halted runs (which only occur in state-equivalent classes)
+// the full final observables are provided. The differential oracle
+// harness (internal/experiments) cross-checks this empirically.
+
+// ObjectiveObs are the observables an attacker-objective predicate may
+// inspect for one finished experiment.
+type ObjectiveObs struct {
+	// Status and Exc describe how the run terminated (StatusRunning
+	// means the cycle budget was exhausted: a Timeout).
+	Status machine.Status
+	Exc    machine.Exception
+	// Base is the paper-taxonomy outcome the run classified to.
+	Base Outcome
+	// SerialLen, Detects and Corrects are the run's final observable
+	// output; populated only for normally-halted runs (zero otherwise,
+	// see the soundness contract above).
+	SerialLen int
+	Detects   uint64
+	Corrects  uint64
+	// Golden is the fault-free reference run.
+	Golden *trace.Golden
+}
+
+// Objective is a named attacker-success predicate.
+type Objective struct {
+	// Name identifies the objective in the registry, the campaign
+	// identity hash and the wire protocol.
+	Name string
+	// Description is a one-line human-readable summary for reports.
+	Description string
+	// Success judges one finished experiment.
+	Success func(ObjectiveObs) bool
+}
+
+// apply evaluates the objective (nil = no objective) on a classified run
+// and returns the outcome with the AttackFlag set on success. serialLen,
+// detects and corrects must be the run's final observables; they are
+// masked for non-halted runs per the soundness contract.
+func (obj *Objective) apply(base Outcome, status machine.Status, exc machine.Exception, serialLen int, detects, corrects uint64, golden *trace.Golden) Outcome {
+	if obj == nil {
+		return base
+	}
+	obs := ObjectiveObs{Status: status, Exc: exc, Base: base, Golden: golden}
+	if status == machine.StatusHalted {
+		obs.SerialLen = serialLen
+		obs.Detects = detects
+		obs.Corrects = corrects
+	}
+	if obj.Success(obs) {
+		return base | AttackFlag
+	}
+	return base
+}
+
+// Built-in objectives. The registry is fixed at init; campaigns refer to
+// objectives by name so a spec shipped to a fleet worker resolves to the
+// exact same predicate.
+var objectives = map[string]*Objective{
+	"bypass": {
+		Name:        "bypass",
+		Description: "run completed with corrupted output and no fault-tolerance mechanism noticed (hardened check bypassed)",
+		Success: func(o ObjectiveObs) bool {
+			return o.Status == machine.StatusHalted && o.Base == OutcomeSDC &&
+				o.Detects <= o.Golden.Detects && o.Corrects <= o.Golden.Corrects
+		},
+	},
+	"corrupt": {
+		Name:        "corrupt",
+		Description: "silent data corruption of the observable output",
+		Success: func(o ObjectiveObs) bool {
+			return o.Base == OutcomeSDC
+		},
+	},
+	"dos": {
+		Name:        "dos",
+		Description: "denial of service: the run never delivered the golden output",
+		Success: func(o ObjectiveObs) bool {
+			switch o.Base {
+			case OutcomeTimeout, OutcomeCPUException, OutcomeIllegalInstruction,
+				OutcomeDetectedUnrecoverable, OutcomePrematureHalt:
+				return true
+			}
+			return false
+		},
+	},
+}
+
+// ObjectiveByName resolves a registered objective. The empty name means
+// "no objective" and resolves to nil.
+func ObjectiveByName(name string) (*Objective, error) {
+	if name == "" {
+		return nil, nil
+	}
+	obj, ok := objectives[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown objective %q (have %v)", name, ObjectiveNames())
+	}
+	return obj, nil
+}
+
+// ObjectiveNames lists the registered objective names, sorted.
+func ObjectiveNames() []string {
+	names := make([]string, 0, len(objectives))
+	for n := range objectives {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -49,6 +49,24 @@ const (
 	NumOutcomes = int(OutcomePrematureHalt) + 1
 )
 
+// AttackFlag marks an outcome as attack-success under the campaign's
+// attacker objective (see objective.go). It is a high bit OR-ed onto the
+// base outcome so the flagged value still fits the single byte used by
+// checkpoint entries, wire submissions and archives; code that indexes
+// per-outcome arrays must go through Base().
+const AttackFlag Outcome = 0x80
+
+// Base strips the attack flag, returning the paper-taxonomy outcome.
+func (o Outcome) Base() Outcome { return o &^ AttackFlag }
+
+// Attack reports whether the experiment satisfied the campaign's
+// attacker objective.
+func (o Outcome) Attack() bool { return o&AttackFlag != 0 }
+
+// Known reports whether o is a valid outcome byte: a known base outcome,
+// with or without the attack flag.
+func (o Outcome) Known() bool { return int(o.Base()) < NumOutcomes }
+
 var outcomeNames = [NumOutcomes]string{
 	"No Effect",
 	"Detected & Corrected",
@@ -60,12 +78,16 @@ var outcomeNames = [NumOutcomes]string{
 	"Premature Halt",
 }
 
-// String returns the outcome name as used in reports.
+// String returns the outcome name as used in reports; attack-flagged
+// outcomes carry an " (attack)" suffix.
 func (o Outcome) String() string {
-	if int(o) < NumOutcomes {
-		return outcomeNames[o]
+	if int(o.Base()) >= NumOutcomes {
+		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
-	return fmt.Sprintf("outcome(%d)", uint8(o))
+	if o.Attack() {
+		return outcomeNames[o.Base()] + " (attack)"
+	}
+	return outcomeNames[o]
 }
 
 var outcomeMetricNames = [NumOutcomes]string{
@@ -80,10 +102,12 @@ var outcomeMetricNames = [NumOutcomes]string{
 }
 
 // MetricName returns the outcome's snake_case identifier as used in
-// telemetry metric names (e.g. "scan.outcome.no_effect").
+// telemetry metric names (e.g. "scan.outcome.no_effect"). The attack
+// flag does not change the metric name; attack successes are counted
+// separately.
 func (o Outcome) MetricName() string {
-	if int(o) < NumOutcomes {
-		return outcomeMetricNames[o]
+	if int(o.Base()) < NumOutcomes {
+		return outcomeMetricNames[o.Base()]
 	}
 	return fmt.Sprintf("outcome_%d", uint8(o))
 }
@@ -92,12 +116,14 @@ func (o Outcome) MetricName() string {
 // Benign outcomes coalesce into "No Effect" and the remaining six into
 // "Failure" for the paper's two-way analysis (§II-D).
 func (o Outcome) Benign() bool {
-	return o == OutcomeNoEffect || o == OutcomeDetectedCorrected
+	b := o.Base()
+	return b == OutcomeNoEffect || b == OutcomeDetectedCorrected
 }
 
-// classify maps a finished experiment machine to an outcome.
-func classify(m *machine.Machine, golden *trace.Golden) Outcome {
-	return composeOutcome(m.Status(), m.Exception(), m.SerialView(), nil,
+// classify maps a finished experiment machine to an outcome, evaluating
+// the campaign's attacker objective (nil = none) on the way.
+func classify(m *machine.Machine, golden *trace.Golden, obj *Objective) Outcome {
+	return composeOutcome(obj, m.Status(), m.Exception(), m.SerialView(), nil,
 		m.DetectCount(), m.CorrectCount(), golden)
 }
 
@@ -106,30 +132,35 @@ func classify(m *machine.Machine, golden *trace.Golden) Outcome {
 // a (possibly empty) composed suffix — so a memoized remainder can be
 // classified against the golden run without concatenating the two
 // parts. It is the single source of truth for the status → outcome
-// mapping; classify and the memo hit path are both thin wrappers.
-func composeOutcome(status machine.Status, exc machine.Exception, serial, suffix []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
+// mapping; classify and the memo hit path are both thin wrappers. The
+// attacker objective (nil = none) is evaluated here so every
+// classification site — plain run-out, memo hit, reconvergence — flags
+// attack successes identically.
+func composeOutcome(obj *Objective, status machine.Status, exc machine.Exception, serial, suffix []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
+	var base Outcome
 	switch status {
 	case machine.StatusRunning:
-		return OutcomeTimeout
+		base = OutcomeTimeout
 	case machine.StatusAborted:
-		return OutcomeDetectedUnrecoverable
+		base = OutcomeDetectedUnrecoverable
 	case machine.StatusExcepted:
 		switch exc {
 		case machine.ExcIllegalOp, machine.ExcBadPC:
-			return OutcomeIllegalInstruction
+			base = OutcomeIllegalInstruction
 		case machine.ExcSerialLimit:
 			// The run flooded the serial port; its output necessarily
 			// diverged from the golden run.
-			return OutcomeSDC
+			base = OutcomeSDC
 		default:
-			return OutcomeCPUException
+			base = OutcomeCPUException
 		}
 	case machine.StatusHalted:
-		return classifyHaltedParts(serial, suffix, detects, corrects, golden)
+		base = classifyHaltedParts(serial, suffix, detects, corrects, golden)
 	default:
 		// Unreachable with a correct machine; classify conservatively.
-		return OutcomeSDC
+		base = OutcomeSDC
 	}
+	return obj.apply(base, status, exc, len(serial)+len(suffix), detects, corrects, golden)
 }
 
 // classifyHalted classifies a run that halted normally with the given
@@ -168,7 +199,7 @@ func classifyHaltedParts(prefix, suffix []byte, detects, corrects uint64, golden
 // machine's serial cap it necessarily differs from the golden output,
 // and both the real run (ExcSerialLimit) and classifyHalted call that
 // SDC.
-func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *trace.Golden) Outcome {
+func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *trace.Golden, obj *Objective) Outcome {
 	serialLen, gdet, gcor := l.RungAccum(r)
 	serial := m.Serial()
 	if rest := golden.Serial[serialLen:]; len(rest) > 0 {
@@ -176,7 +207,8 @@ func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *tra
 	}
 	detects := m.DetectCount() + (golden.Detects - gdet)
 	corrects := m.CorrectCount() + (golden.Corrects - gcor)
-	return classifyHalted(serial, detects, corrects, golden)
+	base := classifyHalted(serial, detects, corrects, golden)
+	return obj.apply(base, machine.StatusHalted, machine.ExcNone, len(serial), detects, corrects, golden)
 }
 
 // runConverge finishes an injected experiment under the ladder
@@ -200,7 +232,7 @@ func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *tra
 // same states skip straight to the outcome.
 //
 // st counts which shortcut, if any, settled the outcome (nil-safe).
-func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, det *machine.LoopDetector, mr *memoRun, st *scanTel) Outcome {
+func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, budget uint64, obj *Objective, det *machine.LoopDetector, mr *memoRun, st *scanTel) Outcome {
 	if mr != nil {
 		mr.reset()
 	}
@@ -212,7 +244,7 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 			if st != nil {
 				st.reconverged.Inc()
 			}
-			o := classifyConverged(m, l, r, golden)
+			o := classifyConverged(m, l, r, golden, obj)
 			if mr != nil {
 				// The continuation from here is the golden remainder:
 				// a normal halt emitting the traced serial/counter tail.
@@ -224,7 +256,7 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 		}
 		if mr != nil && !mr.exhausted() {
 			if e, hit := mr.probe(m); hit {
-				o := composeOutcome(e.status, e.exc, m.SerialView(), e.serial,
+				o := composeOutcome(obj, e.status, e.exc, m.SerialView(), e.serial,
 					m.DetectCount()+e.detects, m.CorrectCount()+e.corrects, golden)
 				mr.populateComposed(m, e.status, e.exc, e.serial, e.detects, e.corrects)
 				return o
@@ -239,7 +271,7 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 	}
 	// A machine still running here either exhausted the budget or was
 	// proven to loop forever; classify calls both Timeout.
-	o := classify(m, golden)
+	o := classify(m, golden, obj)
 	if mr != nil {
 		mr.populate(m)
 	}

@@ -41,7 +41,7 @@ func classifyProg(t *testing.T, prog []isa.Instruction, golden *trace.Golden) Ou
 		t.Fatal(err)
 	}
 	m.Run(100)
-	return classify(m, golden)
+	return classify(m, golden, nil)
 }
 
 func TestClassifyCases(t *testing.T) {
@@ -94,7 +94,7 @@ func TestClassifySerialFlood(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.Run(1000)
-	if got := classify(m, golden); got != OutcomeSDC {
+	if got := classify(m, golden, nil); got != OutcomeSDC {
 		t.Errorf("serial flood classified as %v, want SDC", got)
 	}
 }

@@ -15,9 +15,12 @@ type Progress struct {
 	// Session counts the experiments executed by this scan run only
 	// (excludes checkpoint-restored classes) — the basis of Rate.
 	Session int
-	// Counts are running per-outcome class counts, including restored
-	// classes.
+	// Counts are running per-outcome class counts (by base outcome,
+	// attack flag stripped), including restored classes.
 	Counts [NumOutcomes]uint64
+	// Attacks is the running count of classes whose outcome satisfied
+	// the campaign's attacker objective (always 0 without one).
+	Attacks uint64
 	// Elapsed is the wall time since this scan run started.
 	Elapsed time.Duration
 	// Rate is experiments per second this session (0 until measurable).
@@ -53,6 +56,7 @@ type meter struct {
 	done     int
 	session  int
 	counts   [NumOutcomes]uint64
+	attacks  uint64
 	start    time.Time
 	lastEmit time.Time
 	finished bool
@@ -71,7 +75,10 @@ func newMeter(cfg Config, total int, prior map[int]Outcome) *meter {
 		start:      now,
 	}
 	for _, o := range prior {
-		m.counts[o]++
+		m.counts[o.Base()]++
+		if o.Attack() {
+			m.attacks++
+		}
 	}
 	if m.onProgress != nil {
 		m.emit(now, false)
@@ -81,7 +88,10 @@ func newMeter(cfg Config, total int, prior map[int]Outcome) *meter {
 
 // record accounts one completed experiment.
 func (m *meter) record(class int, o Outcome) {
-	m.counts[o]++
+	m.counts[o.Base()]++
+	if o.Attack() {
+		m.attacks++
+	}
 	m.done++
 	m.session++
 	if m.onResult != nil {
@@ -112,6 +122,7 @@ func (m *meter) emit(now time.Time, final bool) {
 		Total:   m.total,
 		Session: m.session,
 		Counts:  m.counts,
+		Attacks: m.attacks,
 		Elapsed: now.Sub(m.start),
 		Final:   final,
 	}

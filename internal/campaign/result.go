@@ -6,7 +6,7 @@ package campaign
 func (r *Result) ClassCounts() [NumOutcomes]uint64 {
 	var counts [NumOutcomes]uint64
 	for _, o := range r.Outcomes {
-		counts[o]++
+		counts[o.Base()]++
 	}
 	return counts
 }
@@ -19,7 +19,7 @@ func (r *Result) ClassCounts() [NumOutcomes]uint64 {
 func (r *Result) WeightedCounts() [NumOutcomes]uint64 {
 	var counts [NumOutcomes]uint64
 	for i, o := range r.Outcomes {
-		counts[o] += r.Space.Classes[i].Weight()
+		counts[o.Base()] += r.Space.Classes[i].Weight()
 	}
 	return counts
 }
@@ -64,6 +64,34 @@ func (r *Result) BenignWeight() uint64 {
 	var n uint64
 	for i, o := range r.Outcomes {
 		if o.Benign() {
+			n += r.Space.Classes[i].Weight()
+		}
+	}
+	return n
+}
+
+// AttackClasses returns the number of classes whose outcome satisfied
+// the campaign's attacker objective (0 when no objective was set).
+func (r *Result) AttackClasses() uint64 {
+	var n uint64
+	for _, o := range r.Outcomes {
+		if o.Attack() {
+			n++
+		}
+	}
+	return n
+}
+
+// AttackWeight returns the total fault-space weight of attack-success
+// outcomes: the extrapolated count of raw (cycle, bit) coordinates at
+// which the injected fault achieves the attacker objective — the
+// attack-surface analogue of FailureWeight. Known-No-Effect coordinates
+// never contribute: a fault without any effect cannot satisfy an
+// objective (every builtin objective requires an observable deviation).
+func (r *Result) AttackWeight() uint64 {
+	var n uint64
+	for i, o := range r.Outcomes {
+		if o.Attack() {
 			n += r.Space.Classes[i].Weight()
 		}
 	}

@@ -53,9 +53,14 @@ type SampleResult struct {
 	N    int   // number of samples drawn
 	Seed int64 // PRNG seed, for reproducibility
 
-	// Counts is the per-outcome count over the N draws. Draws sharing an
-	// equivalence class all count (one experiment, many samples).
+	// Counts is the per-outcome count over the N draws, by base outcome
+	// (attack flag stripped). Draws sharing an equivalence class all
+	// count (one experiment, many samples).
 	Counts [NumOutcomes]uint64
+
+	// Attacks is the number of draws whose outcome satisfied the
+	// campaign's attacker objective (always 0 without one).
+	Attacks uint64
 
 	// Population is the size of the population sampled from: w for
 	// SampleRaw, w′ for SampleEffective, the class count for SampleClasses.
@@ -135,7 +140,7 @@ func SampleScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		}
 		m.Restore(reset)
 		c := fs.Classes[ci]
-		o, err := runFromReset(m, golden, c.Slot(), c.Bit, budget, 0, flip, nil)
+		o, err := runFromReset(m, golden, c.Slot(), c.Bit, budget, 0, flip, cfg.Objective, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -183,7 +188,10 @@ func SampleScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		if err != nil {
 			return nil, err
 		}
-		sr.Counts[o]++
+		sr.Counts[o.Base()]++
+		if o.Attack() {
+			sr.Attacks++
+		}
 	}
 	sr.Experiments = len(cache)
 	return sr, nil

@@ -80,7 +80,7 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		if ci < 0 || ci >= len(fs.Classes) {
 			return nil, fmt.Errorf("campaign: resume class index %d outside [0, %d)", ci, len(fs.Classes))
 		}
-		if int(o) >= NumOutcomes {
+		if !o.Known() {
 			return nil, fmt.Errorf("campaign: resume class %d has unknown outcome %d", ci, o)
 		}
 		res.Outcomes[ci] = o
@@ -136,13 +136,30 @@ type record struct {
 	outcome Outcome
 }
 
-// flipFunc injects one single-bit fault into a machine.
+// flipFunc injects one fault into a machine at a raw space coordinate
+// (the bit/position dimension; the slot dimension is when it is called).
 type flipFunc func(*machine.Machine, uint64) error
 
 // flipFor selects the injection primitive for a fault-space kind.
 func flipFor(kind pruning.SpaceKind) flipFunc {
-	if kind == pruning.SpaceRegisters {
+	switch kind {
+	case pruning.SpaceRegisters:
 		return (*machine.Machine).FlipRegBit
+	case pruning.SpaceSkip:
+		return func(m *machine.Machine, _ uint64) error {
+			m.FlipSkip()
+			return nil
+		}
+	case pruning.SpacePC:
+		return (*machine.Machine).FlipPCBit
+	case pruning.SpaceBurst2:
+		return func(m *machine.Machine, pos uint64) error {
+			return m.FlipBurst(2, pos)
+		}
+	case pruning.SpaceBurst4:
+		return func(m *machine.Machine, pos uint64) error {
+			return m.FlipBurst(4, pos)
+		}
 	}
 	return (*machine.Machine).FlipBit
 }
@@ -229,7 +246,7 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 						scanFail(&stop, errCh, err)
 						break
 					}
-					o := memoTail(worker, golden, budget, interval, mr)
+					o := memoTail(worker, golden, budget, interval, cfg.Objective, mr)
 					st.experiment(o, t0)
 					results <- record{class: ci, outcome: o}
 				}
@@ -322,7 +339,7 @@ func scanRerun(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Confi
 				}
 				t0 := st.begin()
 				worker.Restore(reset)
-				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, interval, flip, mr)
+				o, err := runFromReset(worker, golden, fs.Classes[ci].Slot(), fs.Classes[ci].Bit, budget, interval, flip, cfg.Objective, mr)
 				if err != nil {
 					scanFail(&stop, errCh, err)
 					continue
@@ -445,7 +462,7 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 					scanFail(&stop, errCh, err)
 					continue
 				}
-				o := runConverge(worker, ladder, golden, budget, det, mr, st)
+				o := runConverge(worker, ladder, golden, budget, cfg.Objective, det, mr, st)
 				st.experiment(o, t0)
 				results <- record{class: ci, outcome: o}
 			}
@@ -485,7 +502,7 @@ feed:
 // `bit`, run to termination (or the cycle budget) and classify. A
 // non-nil mr memoizes the post-injection remainder at interval
 // boundaries (see memoTail); nil runs the experiment out plainly.
-func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget, interval uint64, flip flipFunc, mr *memoRun) (Outcome, error) {
+func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget, interval uint64, flip flipFunc, obj *Objective, mr *memoRun) (Outcome, error) {
 	if slot > 0 {
 		if st := m.Run(slot - 1); slot-1 > 0 && st != machine.StatusRunning {
 			return 0, fmt.Errorf("campaign: golden replay ended early at cycle %d (status %s), slot %d",
@@ -495,7 +512,7 @@ func runFromReset(m *machine.Machine, golden *trace.Golden, slot, bit, budget, i
 	if err := flip(m, bit); err != nil {
 		return 0, err
 	}
-	return memoTail(m, golden, budget, interval, mr), nil
+	return memoTail(m, golden, budget, interval, obj, mr), nil
 }
 
 // RunSingle executes exactly one memory fault-injection experiment at the
@@ -520,5 +537,5 @@ func RunSingleSpace(t Target, golden *trace.Golden, cfg Config, kind pruning.Spa
 	}
 	// Deliberately plain (no predecode, no memo): this is the brute-force
 	// oracle the validation tests compare the optimized scan paths to.
-	return runFromReset(m, golden, slot, bit, cfg.timeoutBudget(golden.Cycles), 0, flipFor(kind), nil)
+	return runFromReset(m, golden, slot, bit, cfg.timeoutBudget(golden.Cycles), 0, flipFor(kind), cfg.Objective, nil)
 }

@@ -109,6 +109,12 @@ type Config struct {
 	// other — entries are only transferable between experiments with
 	// identical machine semantics and budget.
 	MemoCache *MemoCache
+	// Objective, when non-nil, is the attacker-objective predicate
+	// evaluated on every classified experiment (see objective.go): the
+	// AttackFlag bit is set on outcomes that satisfy it. Unlike the
+	// execution knobs above it CHANGES the recorded outcomes, so the
+	// objective name is part of the campaign identity hash.
+	Objective *Objective
 	// Pool, when non-nil, recycles worker machines across scans instead
 	// of allocating a fresh RAM image per worker per call. Cluster
 	// workers use one pool per campaign so that every leased work unit
@@ -228,6 +234,12 @@ func (t Target) PrepareSpace(kind pruning.SpaceKind, maxGoldenCycles uint64) (*t
 		fs, err = pruning.Build(golden)
 	case pruning.SpaceRegisters:
 		fs, err = pruning.BuildRegisters(golden)
+	case pruning.SpaceSkip:
+		fs, err = pruning.BuildSkip(golden, t.Code)
+	case pruning.SpacePC:
+		fs, err = pruning.BuildPC(golden, uint32(len(t.Code)))
+	case pruning.SpaceBurst2, pruning.SpaceBurst4:
+		fs, err = pruning.BuildBurst(golden, kind.BurstWidth())
 	default:
 		return nil, nil, fmt.Errorf("campaign: unknown fault-space kind %d", kind)
 	}

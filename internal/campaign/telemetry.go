@@ -17,6 +17,8 @@ type scanTel struct {
 	live        bool
 	experiments *telemetry.Counter
 	outcomes    [NumOutcomes]*telemetry.Histogram
+	// attacks counts attack-flagged outcomes (nil without an objective).
+	attacks *telemetry.Counter
 
 	// Ladder-strategy shortcut counters (nil under other strategies):
 	// rungRestores counts experiments served from a rung, reconverged
@@ -52,6 +54,9 @@ func newScanTel(cfg Config) *scanTel {
 	st.experiments = r.Counter("scan.experiments")
 	for o := 0; o < NumOutcomes; o++ {
 		st.outcomes[o] = r.Histogram("scan.outcome." + Outcome(o).MetricName())
+	}
+	if cfg.Objective != nil {
+		st.attacks = r.Counter("scan.attacks")
 	}
 	if cfg.Strategy == StrategyLadder {
 		st.rungRestores = r.Counter("ladder.rung_restores")
@@ -99,5 +104,8 @@ func (st *scanTel) experiment(o Outcome, t0 time.Time) {
 		return
 	}
 	st.experiments.Inc()
-	st.outcomes[o].Observe(time.Since(t0))
+	st.outcomes[o.Base()].Observe(time.Since(t0))
+	if o.Attack() && st.attacks != nil {
+		st.attacks.Inc()
+	}
 }

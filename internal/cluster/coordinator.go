@@ -148,6 +148,7 @@ type Coordinator struct {
 	outcomes    []campaign.Outcome
 	have        []bool
 	counts      [campaign.NumOutcomes]uint64
+	attacks     uint64
 	remaining   int
 	session     int
 	start       time.Time
@@ -216,12 +217,15 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 		if ci < 0 || ci >= len(fs.Classes) {
 			return nil, fmt.Errorf("cluster: prior class index %d outside [0, %d)", ci, len(fs.Classes))
 		}
-		if int(o) >= campaign.NumOutcomes {
+		if !o.Known() {
 			return nil, fmt.Errorf("cluster: prior class %d has unknown outcome %d", ci, o)
 		}
 		c.outcomes[ci] = o
 		c.have[ci] = true
-		c.counts[o]++
+		c.counts[o.Base()]++
+		if o.Attack() {
+			c.attacks++
+		}
 	}
 	c.remaining = len(fs.Classes) - len(prior)
 
@@ -498,7 +502,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("cluster: class %d not part of unit %d", e.Class, s.UnitID), http.StatusBadRequest)
 			return
 		}
-		if int(e.Outcome) >= campaign.NumOutcomes {
+		if !campaign.Outcome(e.Outcome).Known() {
 			http.Error(w, fmt.Sprintf("cluster: unknown outcome %d", e.Outcome), http.StatusBadRequest)
 			return
 		}
@@ -518,7 +522,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		o := campaign.Outcome(e.Outcome)
 		c.have[e.Class] = true
 		c.outcomes[e.Class] = o
-		c.counts[o]++
+		c.counts[o.Base()]++
+		if o.Attack() {
+			c.attacks++
+		}
 		c.remaining--
 		c.session++
 		wi.merged++
@@ -634,12 +641,15 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	p := c.Snapshot()
 	resp := struct {
-		Name          string  `json:"name"`
-		Space         string  `json:"space"`
-		Done          int     `json:"done"`
-		Total         int     `json:"total"`
-		Failures      uint64  `json:"failures"`
-		Rate          float64 `json:"expPerSec"`
+		Name     string `json:"name"`
+		Space    string `json:"space"`
+		Done     int    `json:"done"`
+		Total    int    `json:"total"`
+		Failures uint64 `json:"failures"`
+		// Attacks counts classes whose outcome satisfied the campaign's
+		// attacker objective (0 without one).
+		Attacks uint64  `json:"attacks"`
+		Rate    float64 `json:"expPerSec"`
 		Leases        int     `json:"outstandingLeases"`
 		Reassignments int     `json:"reassignments"`
 		// Workers carries each worker's session statistics, including its
@@ -651,7 +661,8 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}{
 		Name: c.target.Name, Space: c.space.Kind.String(),
 		Done: p.Done, Total: p.Total, Failures: p.Failures(),
-		Rate: p.Rate, Leases: p.OutstandingLeases,
+		Attacks: p.Attacks,
+		Rate:    p.Rate, Leases: p.OutstandingLeases,
 		Reassignments: p.Reassignments, Workers: p.Workers,
 	}
 	if c.opts.Telemetry != nil {
@@ -708,6 +719,7 @@ func (c *Coordinator) progressLocked(final bool) Progress {
 			Total:   len(c.space.Classes),
 			Session: c.session,
 			Counts:  c.counts,
+			Attacks: c.attacks,
 			Elapsed: time.Since(c.start),
 			Final:   final,
 		},

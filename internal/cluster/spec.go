@@ -27,6 +27,10 @@ func NewSpec(t campaign.Target, kind pruning.SpaceKind, cfg campaign.Config, max
 		return Spec{}, fmt.Errorf("encode program: %w", err)
 	}
 	factor, slack := cfg.EffectiveTimeout()
+	objective := ""
+	if cfg.Objective != nil {
+		objective = cfg.Objective.Name
+	}
 	return Spec{
 		Proto:           ProtoVersion,
 		Identity:        id,
@@ -43,6 +47,7 @@ func NewSpec(t campaign.Target, kind pruning.SpaceKind, cfg campaign.Config, max
 		MaxGoldenCycles: maxGoldenCycles,
 		Classes:         classes,
 		LeaseTTL:        DefaultLeaseTTL,
+		Objective:       objective,
 	}, nil
 }
 
@@ -74,9 +79,17 @@ func BuildCampaign(spec Spec) (campaign.Target, *trace.Golden, *pruning.FaultSpa
 			TimerVector: spec.TimerVector,
 		},
 	}
+	obj, err := campaign.ObjectiveByName(spec.Objective)
+	if err != nil {
+		// An unknown objective name must fail loudly: this worker cannot
+		// reproduce the campaign's outcomes, so running anyway would poison
+		// results (the identity check below would also trip, less clearly).
+		return campaign.Target{}, nil, nil, cfg, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
 	cfg = campaign.Config{
 		TimeoutFactor: spec.TimeoutFactor,
 		TimeoutSlack:  spec.TimeoutSlack,
+		Objective:     obj,
 	}
 	kind := pruning.SpaceKind(spec.SpaceKind)
 	g, fs, err := t.PrepareSpace(kind, spec.MaxGoldenCycles)

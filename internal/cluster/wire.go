@@ -43,7 +43,10 @@ import (
 )
 
 // ProtoVersion is the wire-protocol version spoken by this package.
-const ProtoVersion = 1
+// Version 2 appended the attacker-objective name to the handshake spec;
+// version-1 peers reject it in JoinCampaign, so a mixed fleet can never
+// silently record objective-less outcomes for an objective campaign.
+const ProtoVersion = 2
 
 // Frame kinds of the cluster wire protocol.
 const (
@@ -82,6 +85,9 @@ type Spec struct {
 	MaxGoldenCycles uint64
 	Classes         uint64 // total equivalence-class count (sanity check)
 	LeaseTTL        time.Duration
+	// Objective is the attacker-objective name ("" = none), resolved by
+	// the worker via campaign.ObjectiveByName. Proto 2+.
+	Objective string
 }
 
 // Work-unit statuses of a lease response.
@@ -166,6 +172,7 @@ func EncodeSpec(s Spec) []byte {
 	p = appendU64(p, s.MaxGoldenCycles)
 	p = appendU64(p, s.Classes)
 	p = appendU64(p, uint64(s.LeaseTTL))
+	p = appendString(p, s.Objective)
 	return checkpoint.AppendFrame(nil, msgSpec, p)
 }
 
@@ -360,6 +367,7 @@ func DecodeSpec(data []byte) (Spec, error) {
 	s.MaxGoldenCycles = r.u64()
 	s.Classes = r.u64()
 	s.LeaseTTL = time.Duration(r.u64())
+	s.Objective = r.str()
 	if err := r.finish(); err != nil {
 		return Spec{}, err
 	}

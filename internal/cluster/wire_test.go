@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -29,6 +30,22 @@ func testSpec() Spec {
 		MaxGoldenCycles: 1 << 22,
 		Classes:         16,
 		LeaseTTL:        10 * time.Second,
+		Objective:       "bypass",
+	}
+}
+
+// TestWorkerRejectsProtoMismatch pins the fleet upgrade story: a worker
+// handed a spec from a coordinator speaking another protocol version
+// (e.g. a v1 binary joining a v2 campaign carrying an objective) must
+// refuse at admission, before any network traffic or scan work.
+func TestWorkerRejectsProtoMismatch(t *testing.T) {
+	for _, proto := range []uint32{ProtoVersion - 1, ProtoVersion + 1, 0} {
+		spec := testSpec()
+		spec.Proto = proto
+		err := JoinCampaign("http://invalid.invalid", spec, WorkerOptions{ID: "w"})
+		if !errors.Is(err, ErrRejected) {
+			t.Errorf("proto %d: err = %v, want ErrRejected", proto, err)
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"bytes"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// FuzzBurstMaskDecode fuzzes the burst coordinate decoder: FlipBurst
+// receives (k, pos) straight from campaign classes, wire work units and
+// checkpoint resume paths, so arbitrary values must either be rejected
+// with RAM untouched or decode to a mask of exactly k adjacent bits
+// inside exactly one byte. Injection is an involution: applying the same
+// coordinate twice must restore the original image bit-for-bit.
+func FuzzBurstMaskDecode(f *testing.F) {
+	f.Add(2, uint64(0), int64(1))
+	f.Add(4, uint64(305), int64(7))
+	f.Add(0, uint64(1<<63), int64(3))
+	f.Add(9, uint64(12), int64(9))
+	f.Fuzz(func(t *testing.T, k int, pos uint64, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		ramSize := []int{32, 256, 300, 1024}[rng.Intn(4)]
+		image := make([]byte, ramSize)
+		rng.Read(image)
+		m, err := New(Config{RAMSize: ramSize}, buildRandomProgram(rng, ramSize, 8), image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := append([]byte(nil), m.ram...)
+
+		if err := m.FlipBurst(k, pos); err != nil {
+			if !bytes.Equal(m.ram, before) {
+				t.Fatalf("rejected burst (k=%d, pos=%d) modified RAM", k, pos)
+			}
+			return
+		}
+		diff := -1
+		for i := range m.ram {
+			if m.ram[i] != before[i] {
+				if diff >= 0 {
+					t.Fatalf("burst (k=%d, pos=%d) touched bytes %d and %d", k, pos, diff, i)
+				}
+				diff = i
+			}
+		}
+		if diff < 0 {
+			t.Fatalf("burst (k=%d, pos=%d) flipped nothing", k, pos)
+		}
+		mask := m.ram[diff] ^ before[diff]
+		if bits.OnesCount8(mask) != k {
+			t.Fatalf("burst (k=%d, pos=%d) mask %08b has %d bits", k, pos, mask, bits.OnesCount8(mask))
+		}
+		run := mask >> bits.TrailingZeros8(mask)
+		if run != byte(1<<k-1) {
+			t.Fatalf("burst (k=%d, pos=%d) mask %08b is not adjacent", k, pos, mask)
+		}
+		p := BurstPositions(k)
+		if wantByte, wantShift := pos/p, int(pos%p); uint64(diff) != wantByte || bits.TrailingZeros8(mask) != wantShift {
+			t.Fatalf("burst (k=%d, pos=%d) decoded to (byte %d, shift %d), want (%d, %d)",
+				k, pos, diff, bits.TrailingZeros8(mask), wantByte, wantShift)
+		}
+		if err := m.FlipBurst(k, pos); err != nil {
+			t.Fatalf("re-injecting accepted burst (k=%d, pos=%d): %v", k, pos, err)
+		}
+		if !bytes.Equal(m.ram, before) {
+			t.Fatalf("burst (k=%d, pos=%d) is not an involution", k, pos)
+		}
+	})
+}

@@ -320,6 +320,9 @@ func (c *Cursor) Restore(r int) {
 	m.inIRQ = meta.inIRQ
 	m.savedPC = meta.savedPC
 	m.fireAt = meta.fireAt
+	// The golden run never has a pending instruction skip; clear any
+	// leftover from an aborted experiment on this worker.
+	m.skipNext = false
 	c.rung = r
 	c.valid = true
 }

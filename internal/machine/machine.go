@@ -206,6 +206,14 @@ type Machine struct {
 	savedPC uint32
 	fireAt  uint64 // cycle count at which the next timer interrupt fires
 
+	// skipNext, when set, makes the next Step retire without executing
+	// its instruction: the instruction-skip fault model (FlipSkip). The
+	// flag is one-shot and always consumed before the machine reaches a
+	// rung boundary, memo probe or loop probe, so it is deliberately
+	// excluded from HashExecState, StateMatches and the loop detector's
+	// recurrence state.
+	skipNext bool
+
 	// codeLen is the program length in instructions; pc ∈ [0, codeLen)
 	// is executable. For Harvard machines it equals len(rom).
 	codeLen uint32
@@ -346,6 +354,55 @@ func (m *Machine) FlipRegBit(bit uint64) error {
 	return nil
 }
 
+// FlipSkip injects an instruction-skip fault: the next dynamic instruction
+// is not executed. The machine still spends the cycle (the pipeline
+// bubbles through) and the program counter falls through to the next
+// instruction, but the skipped instruction has no architectural effect —
+// the ARMORY-style fault model for clock/voltage glitch attacks.
+func (m *Machine) FlipSkip() { m.skipNext = true }
+
+// PCBits is the size of the PC-corruption fault space per injection slot:
+// the program counter is a 32-bit register.
+const PCBits = 32
+
+// FlipPCBit injects a transient single-bit fault into the program counter:
+// the next fetch happens from the corrupted address. Faults that leave the
+// PC outside the program raise ExcBadPC on the next Step, exactly like a
+// wild indirect jump.
+func (m *Machine) FlipPCBit(bit uint64) error {
+	if bit >= PCBits {
+		return fmt.Errorf("machine: bit %d outside PC (%d bits)", bit, PCBits)
+	}
+	m.pc ^= 1 << bit
+	return nil
+}
+
+// BurstPositions returns the number of distinct k-bit burst positions per
+// RAM byte: a burst of k adjacent bits fits at offsets 0..8−k within the
+// byte, so there are 9−k positions.
+func BurstPositions(k int) uint64 { return uint64(9 - k) }
+
+// FlipBurst injects a multi-bit burst fault: k adjacent bits flipped in
+// one RAM byte. pos encodes (byte, offset) as byte*(9−k)+offset; the
+// flipped mask is ((1<<k)−1)<<offset. k must be in [1, 8].
+func (m *Machine) FlipBurst(k int, pos uint64) error {
+	if k < 1 || k > 8 {
+		return fmt.Errorf("machine: burst width %d outside [1, 8]", k)
+	}
+	p := BurstPositions(k)
+	b := pos / p
+	if b >= uint64(len(m.ram)) {
+		return fmt.Errorf("machine: burst position %d outside RAM (%d bytes × %d positions)",
+			pos, len(m.ram), p)
+	}
+	m.ram[b] ^= byte((1<<k - 1) << (pos % p))
+	m.markDirty(uint32(b))
+	if m.vn {
+		m.invalidateCode(uint32(b), 1)
+	}
+	return nil
+}
+
 // Step executes one instruction. It returns the machine status after the
 // instruction retired, or ErrNotRunning if the machine already terminated.
 func (m *Machine) Step() (Status, error) {
@@ -364,6 +421,15 @@ func (m *Machine) Step() (Status, error) {
 	}
 	if m.pc >= m.codeLen {
 		return m.raise(ExcBadPC), nil
+	}
+	if m.skipNext {
+		// Instruction-skip fault: the instruction at pc is fetched but not
+		// executed. The cycle is still spent and the PC falls through, so
+		// cycle accounting stays monotonic and the timer stays in phase.
+		m.skipNext = false
+		m.cycles++
+		m.pc++
+		return m.status, nil
 	}
 	var ins isa.Instruction
 	if m.vn {
@@ -525,6 +591,15 @@ func (m *Machine) Step() (Status, error) {
 // It returns the resulting status; StatusRunning means the cycle budget
 // was exhausted.
 func (m *Machine) Run(maxCycles uint64) Status {
+	// A pending instruction-skip fault is consumed by one plain Step
+	// before entering any fast path: the pre-decoded chunk loop does not
+	// model the skip flag (it can only ever be set at an injection
+	// boundary, never mid-run).
+	if m.skipNext && m.status == StatusRunning && m.cycles < maxCycles {
+		if _, err := m.Step(); err != nil {
+			return m.status
+		}
+	}
 	// The pre-decoded fast path replicates the Step loop bit for bit but
 	// cannot invoke hooks; fall back to plain stepping while any are
 	// installed (see predecode.go).

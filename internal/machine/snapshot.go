@@ -16,6 +16,7 @@ type Snapshot struct {
 	inIRQ    bool
 	savedPC  uint32
 	fireAt   uint64
+	skipNext bool
 }
 
 // Snapshot captures the current machine state.
@@ -33,6 +34,7 @@ func (m *Machine) Snapshot() *Snapshot {
 		inIRQ:    m.inIRQ,
 		savedPC:  m.savedPC,
 		fireAt:   m.fireAt,
+		skipNext: m.skipNext,
 	}
 	copy(s.ram, m.ram)
 	copy(s.serial, m.serial)
@@ -67,6 +69,7 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.inIRQ = s.inIRQ
 	m.savedPC = s.savedPC
 	m.fireAt = s.fireAt
+	m.skipNext = s.skipNext
 }
 
 // Clone creates an independent machine sharing the (immutable) ROM but with
@@ -88,6 +91,7 @@ func (m *Machine) Clone() *Machine {
 		inIRQ:     m.inIRQ,
 		savedPC:   m.savedPC,
 		fireAt:    m.fireAt,
+		skipNext:  m.skipNext,
 		dirty:     make([]uint64, len(m.dirty)),
 		codeLen:   m.codeLen,
 		vn:        m.vn,

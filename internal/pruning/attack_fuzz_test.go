@@ -1,0 +1,86 @@
+package pruning
+
+import (
+	"testing"
+)
+
+// FuzzSkipCoordinateRoundTrip fuzzes the skip-space class codec: archives
+// and cluster work units ship skip classes as raw (def, use) pairs that
+// FromClasses must reconstruct into exactly the encoded partition — or
+// reject, never panic. Canonically constructed partitions (mode=true)
+// must round-trip with every class preserved index-parallel and Locate
+// agreeing with naive interval membership at every slot; arbitrary pairs
+// (mode=false) probe the rejection paths.
+func FuzzSkipCoordinateRoundTrip(f *testing.F) {
+	f.Add(true, uint16(40), uint64(0), []byte{0, 1, 3, 2, 0, 0})
+	f.Add(true, uint16(500), uint64(0), []byte{7, 3, 1, 1, 2, 0, 5, 3})
+	f.Add(false, uint16(12), uint64(4), []byte{0, 0, 8, 0, 0, 7, 12, 0})
+	f.Add(false, uint16(0), uint64(9), []byte{1, 200, 3, 0})
+	f.Fuzz(func(t *testing.T, mode bool, cyc uint16, known uint64, raw []byte) {
+		cycles := uint64(cyc)
+		var classes []Class
+		if mode {
+			// Canonical construction: non-overlapping ascending intervals
+			// with the known-No-Effect remainder computed to close the
+			// partition. FromClasses must accept these unconditionally.
+			slot, weight := uint64(1), uint64(0)
+			for i := 0; i+1 < len(raw) && slot <= cycles; i += 2 {
+				slot += uint64(raw[i] % 8)
+				if slot > cycles {
+					break
+				}
+				use := slot + uint64(raw[i+1]%4)
+				if use > cycles {
+					use = cycles
+				}
+				classes = append(classes, Class{Bit: 0, DefCycle: slot - 1, UseCycle: use})
+				weight += use - (slot - 1)
+				slot = use + 1
+			}
+			known = cycles - weight
+		} else {
+			// Arbitrary pairs: mostly invalid (wrong order, out-of-range
+			// bits and cycles, broken partitions) — FromClasses must error
+			// cleanly on every one it does not accept.
+			for i := 0; i+3 < len(raw); i += 4 {
+				classes = append(classes, Class{
+					Bit:      uint64(raw[i] % 2),
+					DefCycle: uint64(raw[i+1]),
+					UseCycle: uint64(raw[i+2]) | uint64(raw[i+3])<<8,
+				})
+			}
+		}
+
+		fs, err := FromClasses(SpaceSkip, cycles, 1, classes, known)
+		if err != nil {
+			if mode {
+				t.Fatalf("canonical skip partition rejected: %v", err)
+			}
+			return
+		}
+		if len(fs.Classes) != len(classes) {
+			t.Fatalf("round trip changed class count: %d -> %d", len(classes), len(fs.Classes))
+		}
+		for i := range classes {
+			if fs.Classes[i] != classes[i] {
+				t.Fatalf("class %d changed in round trip: %+v -> %+v", i, classes[i], fs.Classes[i])
+			}
+		}
+		for slot := uint64(1); slot <= cycles; slot++ {
+			wantIn, wantCi := false, 0
+			for ci, c := range classes {
+				if slot > c.DefCycle && slot <= c.UseCycle {
+					wantIn, wantCi = true, ci
+					break
+				}
+			}
+			ci, in, err := fs.Locate(slot, 0)
+			if err != nil {
+				t.Fatalf("Locate(%d, 0): %v", slot, err)
+			}
+			if in != wantIn || (in && ci != wantCi) {
+				t.Fatalf("Locate(%d, 0) = (%d, %v), want (%d, %v)", slot, ci, in, wantCi, wantIn)
+			}
+		}
+	})
+}

@@ -57,6 +57,23 @@ const (
 	// SpaceRegisters is the §VI-B generalization: single-bit flips in the
 	// CPU register file (r1..r15; r0 is hardwired zero and immune).
 	SpaceRegisters
+	// SpaceSkip is the instruction-skip attack model (ARMORY-style): the
+	// dynamic instruction retiring at cycle t is not executed. The space
+	// is one-dimensional (Bits = 1, one coordinate per slot); slots whose
+	// skipped instruction provably cannot change the observable outcome
+	// are known No Effect (see BuildSkip).
+	SpaceSkip
+	// SpacePC is single-bit PC corruption at an injection boundary: the
+	// next fetch happens from the flipped address. Slots whose flip sends
+	// the PC outside the program deterministically raise ExcBadPC and are
+	// grouped per bit into maximal runs (see BuildPC).
+	SpacePC
+	// SpaceBurst2 and SpaceBurst4 are multi-bit burst faults: k adjacent
+	// bits flipped in one RAM byte. A byte has 9−k burst positions; the
+	// coordinate layout is byte*(9−k)+offset (see BuildBurst). Def/use
+	// intervals are the memory model's, widened to whole-byte events.
+	SpaceBurst2
+	SpaceBurst4
 )
 
 // String returns the kind name.
@@ -66,9 +83,38 @@ func (k SpaceKind) String() string {
 		return "memory"
 	case SpaceRegisters:
 		return "registers"
+	case SpaceSkip:
+		return "skip"
+	case SpacePC:
+		return "pc"
+	case SpaceBurst2:
+		return "burst2"
+	case SpaceBurst4:
+		return "burst4"
 	default:
 		return fmt.Sprintf("space(%d)", uint8(k))
 	}
+}
+
+// Valid reports whether k is a known fault-space kind.
+func (k SpaceKind) Valid() bool {
+	switch k {
+	case SpaceMemory, SpaceRegisters, SpaceSkip, SpacePC, SpaceBurst2, SpaceBurst4:
+		return true
+	}
+	return false
+}
+
+// BurstWidth returns the burst width k of a burst space kind (0 for
+// non-burst kinds).
+func (k SpaceKind) BurstWidth() int {
+	switch k {
+	case SpaceBurst2:
+		return 2
+	case SpaceBurst4:
+		return 4
+	}
+	return 0
 }
 
 // FaultSpace is the pruned fault space of one golden run.
@@ -110,7 +156,7 @@ func (fs *FaultSpace) ReductionFactor() float64 {
 
 // Build partitions the main-memory fault space of the golden run.
 func Build(g *trace.Golden) (*FaultSpace, error) {
-	return buildSpace(SpaceMemory, g.Cycles, g.RAMBits, g.Accesses)
+	return buildSpace(SpaceMemory, g.Cycles, g.RAMBits, g.Accesses, 8)
 }
 
 // BuildRegisters partitions the register-file fault space of the golden
@@ -118,7 +164,31 @@ func Build(g *trace.Golden) (*FaultSpace, error) {
 // instruction consumes sources before producing its destination); the read
 // ends the previous def/use interval and the write starts the next one.
 func BuildRegisters(g *trace.Golden) (*FaultSpace, error) {
-	return buildSpace(SpaceRegisters, g.Cycles, g.RegBits(), g.RegAccesses)
+	return buildSpace(SpaceRegisters, g.Cycles, g.RegBits(), g.RegAccesses, 8)
+}
+
+// BuildBurst partitions the k-adjacent-bit burst fault space (k ∈ {2, 4}).
+//
+// Soundness of reusing the memory def/use intervals: every fav32 RAM
+// access reads or writes whole bytes, so all 9−k burst positions within a
+// byte share that byte's event stream. A burst injected between an access
+// and the next read of its byte is first consumed, in its entirety, by
+// that read (all k flipped bits live in the one byte); a burst between an
+// access and the next write is wholly overwritten. The single-bit interval
+// partition therefore carries over with the per-byte coordinate count
+// widened from 8 bits to 9−k positions.
+func BuildBurst(g *trace.Golden, k int) (*FaultSpace, error) {
+	var kind SpaceKind
+	switch k {
+	case 2:
+		kind = SpaceBurst2
+	case 4:
+		kind = SpaceBurst4
+	default:
+		return nil, fmt.Errorf("pruning: unsupported burst width %d (want 2 or 4)", k)
+	}
+	perByte := uint64(9 - k)
+	return buildSpace(kind, g.Cycles, g.RAMBits/8*perByte, g.Accesses, perByte)
 }
 
 // FromClasses reconstructs a fault space from externally stored classes
@@ -126,7 +196,7 @@ func BuildRegisters(g *trace.Golden) (*FaultSpace, error) {
 // exact-partition invariant is verified, so a tampered or inconsistent
 // archive is rejected.
 func FromClasses(kind SpaceKind, cycles, bits uint64, classes []Class, knownNoEffect uint64) (*FaultSpace, error) {
-	if kind != SpaceMemory && kind != SpaceRegisters {
+	if !kind.Valid() {
 		return nil, fmt.Errorf("pruning: unknown space kind %d", kind)
 	}
 	fs := &FaultSpace{
@@ -162,7 +232,11 @@ func FromClasses(kind SpaceKind, cycles, bits uint64, classes []Class, knownNoEf
 	return fs, nil
 }
 
-func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access) (*FaultSpace, error) {
+// buildSpace partitions an access-interval fault space. perByte is the
+// number of fault-space coordinates per accessed byte: 8 for single-bit
+// spaces, 9−k for k-bit burst spaces (every access covers whole bytes, so
+// all coordinates of a byte share its event stream).
+func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access, perByte uint64) (*FaultSpace, error) {
 	fs := &FaultSpace{
 		Kind:   kind,
 		Cycles: cycles,
@@ -182,8 +256,8 @@ func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access) (*
 			return nil, fmt.Errorf("pruning: access at cycle %d outside run of %d cycles", a.Cycle, cycles)
 		}
 		read := a.Kind == machine.AccessRead
-		base := uint64(a.Addr) * 8
-		for i := uint64(0); i < uint64(a.Size)*8; i++ {
+		base := uint64(a.Addr) * perByte
+		for i := uint64(0); i < uint64(a.Size)*perByte; i++ {
 			bit := base + i
 			if bit >= bits {
 				return nil, fmt.Errorf("pruning: access to bit %d outside %s space (%d bits)", bit, kind, bits)

@@ -133,7 +133,11 @@ type CampaignStatus struct {
 	Cached bool   `json:"cached,omitempty"`
 	Done   int    `json:"done"`
 	Total  int    `json:"total"`
-	Error  string `json:"error,omitempty"`
+	// Objective is the campaign's attacker-objective name ("" = none);
+	// Attacks counts classes whose outcome satisfied it so far.
+	Objective string `json:"objective,omitempty"`
+	Attacks   uint64 `json:"attacks,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// Telemetry is the campaign's own registry snapshot — per-campaign
 	// cluster and engine counters, not process globals.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
@@ -443,19 +447,25 @@ func (s *Service) cancel(w http.ResponseWriter, e *entry) {
 // campaign's registry snapshot.
 func (s *Service) statusLocked(e *entry, withTelemetry bool) CampaignStatus {
 	st := CampaignStatus{
-		ID:     e.idHex,
-		Name:   e.spec.Name,
-		Tenant: e.tenant,
-		State:  e.state,
-		Cached: e.cached,
-		Total:  int(e.spec.Classes),
-		Error:  e.errMsg,
+		ID:        e.idHex,
+		Name:      e.spec.Name,
+		Tenant:    e.tenant,
+		State:     e.state,
+		Cached:    e.cached,
+		Total:     int(e.spec.Classes),
+		Objective: e.spec.Objective,
+		Error:     e.errMsg,
 	}
 	switch {
 	case e.state == StateDone:
 		st.Done = st.Total
+		if e.coord != nil {
+			st.Attacks = e.coord.Snapshot().Attacks
+		}
 	case e.coord != nil:
-		st.Done = e.coord.Snapshot().Done
+		snap := e.coord.Snapshot()
+		st.Done = snap.Done
+		st.Attacks = snap.Attacks
 	}
 	if withTelemetry {
 		snap := e.reg.Snapshot()

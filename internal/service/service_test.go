@@ -533,3 +533,107 @@ func TestFleetUnreachableGivesUp(t *testing.T) {
 		t.Fatalf("JoinFleet against a dead service: %v, want ErrUnreachable", err)
 	}
 }
+
+// testSpecSpace is testSpec for an arbitrary fault space and attacker
+// objective.
+func testSpecSpace(t testing.TB, name string, kind pruning.SpaceKind, objective string) cluster.Spec {
+	t.Helper()
+	tgt := testTarget(t, name)
+	obj, err := campaign.ObjectiveByName(objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaign.Config{Objective: obj}
+	_, fs, err := tgt.PrepareSpace(kind, testMaxGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := cluster.NewSpec(tgt, kind, cfg, testMaxGolden, uint64(len(fs.Classes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// localReportSpace is localReport for an arbitrary fault space and
+// attacker objective.
+func localReportSpace(t testing.TB, name string, kind pruning.SpaceKind, objective string) []byte {
+	t.Helper()
+	tgt := testTarget(t, name)
+	obj, err := campaign.ObjectiveByName(objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, fs, err := tgt.PrepareSpace(kind, testMaxGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.FullScan(tgt, golden, fs, campaign.Config{Objective: obj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := archive.Encode(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestInvariant12ArchiveHitAttackSpaces replays the invariant-12 proof
+// for the attack-style campaign types: a burst campaign under the
+// corrupt objective and a plain instruction-skip campaign, each executed
+// on the fleet (objective name riding the wire spec), must match the
+// local scan byte-for-byte; the duplicate submission to a fresh service
+// over the same archive is answered with zero experiments executed.
+func TestInvariant12ArchiveHitAttackSpaces(t *testing.T) {
+	cases := []struct {
+		name      string
+		kind      pruning.SpaceKind
+		objective string
+	}{
+		{"burst2+corrupt", pruning.SpaceBurst2, "corrupt"},
+		{"skip", pruning.SpaceSkip, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			spec := testSpecSpace(t, "bin_sem2", tc.kind, tc.objective)
+			want := localReportSpace(t, "bin_sem2", tc.kind, tc.objective)
+
+			svc, srv := startService(t, Options{Dir: dir})
+			startFleet(t, svc, srv.URL, 2)
+			st, resp := submitSpec(t, srv.URL, spec, "alice")
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit: HTTP %d", resp.StatusCode)
+			}
+			st = waitDone(t, srv.URL, st.ID)
+			if st.State != StateDone || st.Cached {
+				t.Fatalf("first run: state %s cached %v", st.State, st.Cached)
+			}
+			if st.Objective != tc.objective {
+				t.Errorf("status objective %q, want %q", st.Objective, tc.objective)
+			}
+			live := fetchReport(t, srv.URL, st.ID)
+			if !bytes.Equal(live, want) {
+				t.Fatal("fleet-executed report differs from local scan (invariant 8/12 broken)")
+			}
+			svc.Shutdown()
+
+			svc2, srv2 := startService(t, Options{Dir: dir})
+			st2, resp2 := submitSpec(t, srv2.URL, spec, "bob")
+			if resp2.StatusCode != http.StatusOK {
+				t.Fatalf("resubmit: HTTP %d", resp2.StatusCode)
+			}
+			if st2.State != StateDone || !st2.Cached {
+				t.Fatalf("resubmit: state %s cached %v, want done from archive", st2.State, st2.Cached)
+			}
+			if !bytes.Equal(fetchReport(t, srv2.URL, st2.ID), live) {
+				t.Fatal("archived report is not byte-identical to the live scan (invariant 12 broken)")
+			}
+			if got := svc2.CampaignTelemetry(spec.Identity).Counter("scan.experiments").Value(); got != 0 {
+				t.Errorf("archive hit executed %d experiments, want 0", got)
+			}
+			svc2.Shutdown()
+		})
+	}
+}

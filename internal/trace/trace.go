@@ -42,6 +42,22 @@ type Golden struct {
 	// precede writes (an instruction consumes its sources before
 	// producing its destination).
 	RegAccesses []Access
+
+	// The per-cycle control-flow trace for the attack-style fault spaces
+	// (instruction skip, PC corruption). All three slices have length
+	// Cycles; slot t uses index t−1.
+	//
+	// BoundaryPCs[t−1] is the program counter at injection slot t, before
+	// any timer redirect — the value a PC-corruption fault at slot t
+	// flips.
+	BoundaryPCs []uint32
+	// ExecPCs[t−1] is the PC the instruction retiring at cycle t actually
+	// executed from (after any timer redirect) — the instruction an
+	// instruction-skip fault at slot t suppresses.
+	ExecPCs []uint32
+	// IRQEntries[t−1] reports whether the timer redirect fired at slot
+	// t's boundary, making cycle t the first handler instruction.
+	IRQEntries []bool
 }
 
 // SpaceSize returns the raw memory fault-space size w = Δt · Δm.
@@ -70,7 +86,13 @@ func Record(name string, cfg machine.Config, code []isa.Instruction, image []byt
 	m.SetMemHook(func(cycle uint64, addr uint32, size uint8, kind machine.AccessKind) {
 		g.Accesses = append(g.Accesses, Access{Cycle: cycle, Addr: addr, Size: size, Kind: kind})
 	})
+	var prevIRQ bool
 	m.SetExecHook(func(cycle uint64, pc uint32, ins isa.Instruction) {
+		// The hook fires after the timer redirect, so pc here is where
+		// the instruction really executes from; prevIRQ is captured at
+		// the boundary by the step loop below.
+		g.ExecPCs = append(g.ExecPCs, pc)
+		g.IRQEntries = append(g.IRQEntries, m.InIRQ() && !prevIRQ)
 		// Reads first (deduplicated: "add r1, r2, r2" reads r2 once),
 		// then the write — matching intra-instruction dataflow order.
 		var seen [isa.NumRegs]bool
@@ -89,7 +111,17 @@ func Record(name string, cfg machine.Config, code []isa.Instruction, image []byt
 			})
 		}
 	})
-	status := m.Run(maxCycles)
+	// Step explicitly instead of Run: between Steps, m.PC() is exactly
+	// the pre-redirect boundary PC that a PC-corruption fault at the next
+	// slot would flip.
+	for m.Status() == machine.StatusRunning && m.Cycles() < maxCycles {
+		g.BoundaryPCs = append(g.BoundaryPCs, m.PC())
+		prevIRQ = m.InIRQ()
+		if _, err := m.Step(); err != nil {
+			break
+		}
+	}
+	status := m.Status()
 	switch status {
 	case machine.StatusHalted:
 		// success

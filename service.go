@@ -170,11 +170,19 @@ func ServeCampaigns(addr string, opts CampaignServiceOptions) error {
 func SubmitCampaign(addr string, p *Program, opts ScanOptions, tenant string) (CampaignInfo, error) {
 	var info CampaignInfo
 	t := Target(p)
-	_, fs, err := t.PrepareSpace(opts.space(), opts.maxGolden())
+	kind, err := opts.space()
 	if err != nil {
 		return info, fmt.Errorf("faultspace: %w", err)
 	}
-	spec, err := cluster.NewSpec(t, fs.Kind, opts.campaignConfig(), opts.maxGolden(), uint64(len(fs.Classes)))
+	_, fs, err := t.PrepareSpace(kind, opts.maxGolden())
+	if err != nil {
+		return info, fmt.Errorf("faultspace: %w", err)
+	}
+	cfg, err := opts.campaignConfig()
+	if err != nil {
+		return info, fmt.Errorf("faultspace: %w", err)
+	}
+	spec, err := cluster.NewSpec(t, fs.Kind, cfg, opts.maxGolden(), uint64(len(fs.Classes)))
 	if err != nil {
 		return info, fmt.Errorf("faultspace: %w", err)
 	}
