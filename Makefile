@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race race-service race-spaces fuzz-smoke bench bench-telemetry
+.PHONY: check vet build test race race-service race-spaces race-fork fuzz-smoke bench bench-telemetry bench-smoke
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race race-service race-spaces fuzz-smoke bench-telemetry
+check: vet build test race race-service race-spaces race-fork fuzz-smoke bench-telemetry bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,16 @@ race-spaces:
 	$(GO) test -race -count=2 -run='TestObjectiveStrategyEquivalence|TestInterruptResumeAttackSpaces|TestOracleRandomCoordinates' . ./internal/experiments
 	$(GO) test -race -count=2 -run='TestInvariant12ArchiveHitAttackSpaces' ./internal/service
 
+# The fork strategy under the race detector: the full differential
+# strategy-equivalence matrix (which includes fork across every space ×
+# accelerator combination), fork interrupt+resume over all six spaces,
+# and the fork random-coordinate oracle (invariant 14). The fork scan's
+# parent/child machine pairs and batch feeder are the newest concurrent
+# code in the executor; this gate is their data-race proof.
+race-fork:
+	$(GO) test -race -run='TestStrategyEquivalenceAllBenchmarks|TestInterruptResumeFork' .
+	$(GO) test -race -run='TestOracleRandomCoordinatesFork' ./internal/experiments
+
 # A short deterministic-corpus + 10s randomized smoke of the attack
 # surfaces: the binary decoders exposed to untrusted bytes
 # (corrupted checkpoint files, mutated cluster wire frames and damaged
@@ -54,6 +64,7 @@ fuzz-smoke:
 	$(GO) test ./internal/cluster -run='^$$' -fuzz=FuzzWorkUnitDecode -fuzztime=10s
 	$(GO) test ./internal/service -run='^$$' -fuzz=FuzzArchiveEntryDecode -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzDeltaRestore -fuzztime=10s
+	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzForkClone -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzPredecodeSelfModify -fuzztime=10s
 	$(GO) test ./internal/machine -run='^$$' -fuzz=FuzzBurstMaskDecode -fuzztime=10s
 	$(GO) test ./internal/pruning -run='^$$' -fuzz=FuzzSkipCoordinateRoundTrip -fuzztime=10s
@@ -63,6 +74,14 @@ fuzz-smoke:
 # makes visible; TestDisabledPathAllocFree enforces it in `test`.
 bench-telemetry:
 	$(GO) test ./internal/telemetry -run='^$$' -bench=BenchmarkTelemetryOverhead -benchtime=100x -benchmem
+
+# One un-calibrated iteration of every BenchmarkFullScan row — each
+# strategy × accelerator combination plus the attack-space variants —
+# so a broken scan configuration fails `make check` instead of being
+# discovered at the next full bench run. BENCH_SKIP_WRITE keeps the
+# single-iteration timings out of the tracked BENCH_scan.json.
+bench-smoke:
+	BENCH_SKIP_WRITE=1 $(GO) test -run='^$$' -bench=BenchmarkFullScan -benchtime=1x .
 
 bench:
 	$(GO) test -bench=. -benchmem

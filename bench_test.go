@@ -252,13 +252,16 @@ var scanBench struct {
 }
 
 // TestMain emits BENCH_scan.json after a benchmark run that exercised
-// BenchmarkFullScan; plain `go test` runs write nothing.
+// BenchmarkFullScan; plain `go test` runs write nothing, and setting
+// BENCH_SKIP_WRITE suppresses the write for smoke runs (`make
+// bench-smoke` runs one un-calibrated iteration per strategy — numbers
+// that must not clobber the tracked timings).
 func TestMain(m *testing.M) {
 	code := m.Run()
 	scanBench.Lock()
 	results := scanBench.results
 	scanBench.Unlock()
-	if code == 0 && len(results) > 0 {
+	if code == 0 && len(results) > 0 && os.Getenv("BENCH_SKIP_WRITE") == "" {
 		if data, err := json.MarshalIndent(results, "", "  "); err == nil {
 			if err := os.WriteFile("BENCH_scan.json", append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "bench: BENCH_scan.json:", err)
@@ -305,8 +308,10 @@ func BenchmarkFullScan(b *testing.B) {
 		{"snapshot", faultspace.StrategySnapshot, false, false},
 		{"rerun", faultspace.StrategyRerun, false, false},
 		{"ladder", faultspace.StrategyLadder, false, false},
+		{"fork", faultspace.StrategyFork, false, false},
 		{"snapshot+pre", faultspace.StrategySnapshot, true, false},
 		{"ladder+pre", faultspace.StrategyLadder, true, false},
+		{"fork+pre", faultspace.StrategyFork, true, false},
 		{"snapshot+pre+memo", faultspace.StrategySnapshot, true, true},
 		{"ladder+pre+memo", faultspace.StrategyLadder, true, true},
 	}

@@ -61,8 +61,8 @@ func run(args []string, w, errW io.Writer) error {
 		biased   = fs.Bool("biased", false, "sample classes uniformly (Pitfall 2) instead of raw coordinates")
 		effect   = fs.Bool("effective", false, "sample the reduced population w' (Corollary 1)")
 		rerun    = fs.Bool("rerun", false, "use the rerun-from-start strategy instead of snapshot forking")
-		strategy = fs.String("strategy", "", "experiment strategy: snapshot, rerun or ladder (default snapshot)")
-		ladderIv = fs.Uint64("ladder-interval", 0, "rung spacing in cycles for -strategy ladder (0 = auto-tune)")
+		strategy = fs.String("strategy", "", "experiment strategy: snapshot, rerun, ladder or fork (default snapshot)")
+		ladderIv = fs.Uint64("ladder-interval", 0, "rung spacing in cycles for -strategy ladder or fork (0 = auto-tune)")
 		predec   = fs.Bool("predecode", true, "execute via the pre-decoded dispatch stream (outcome-invariant; -predecode=false for the plain decoder)")
 		memo     = fs.Bool("memo", false, "memoize experiment remainders across the campaign (outcome-invariant, invariant 11)")
 		space    = fs.String("space", "memory", "fault space: memory, registers (§VI-B), skip, pc, burst2 or burst4")
@@ -111,8 +111,8 @@ func run(args []string, w, errW io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *ladderIv > 0 && strat != faultspace.StrategyLadder {
-		return fmt.Errorf("-ladder-interval requires -strategy ladder")
+	if *ladderIv > 0 && strat != faultspace.StrategyLadder && strat != faultspace.StrategyFork {
+		return fmt.Errorf("-ladder-interval requires -strategy ladder or fork")
 	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
@@ -491,8 +491,13 @@ func parseStrategy(s string, rerun bool) (faultspace.Strategy, error) {
 			return 0, fmt.Errorf("-strategy ladder contradicts -rerun")
 		}
 		return faultspace.StrategyLadder, nil
+	case "fork":
+		if rerun {
+			return 0, fmt.Errorf("-strategy fork contradicts -rerun")
+		}
+		return faultspace.StrategyFork, nil
 	default:
-		return 0, fmt.Errorf("unknown strategy %q (valid: snapshot, rerun, ladder)", s)
+		return 0, fmt.Errorf("unknown strategy %q (valid: snapshot, rerun, ladder, fork)", s)
 	}
 }
 

@@ -244,11 +244,12 @@ func TestFlagValidationUpfront(t *testing.T) {
 		want string
 	}{
 		{[]string{"-space", "cache", "hi"}, "valid: memory, registers"},
-		{[]string{"-strategy", "quantum", "hi"}, "valid: snapshot, rerun, ladder"},
+		{[]string{"-strategy", "quantum", "hi"}, "valid: snapshot, rerun, ladder, fork"},
 		{[]string{"-strategy", "snapshot", "-rerun", "hi"}, "contradicts"},
 		{[]string{"-strategy", "ladder", "-rerun", "hi"}, "contradicts"},
-		{[]string{"-ladder-interval", "64", "hi"}, "requires -strategy ladder"},
-		{[]string{"-ladder-interval", "64", "-strategy", "rerun", "hi"}, "requires -strategy ladder"},
+		{[]string{"-strategy", "fork", "-rerun", "hi"}, "contradicts"},
+		{[]string{"-ladder-interval", "64", "hi"}, "requires -strategy ladder or fork"},
+		{[]string{"-ladder-interval", "64", "-strategy", "rerun", "hi"}, "requires -strategy ladder or fork"},
 		{[]string{"-serve", ":0", "-join", "x:1", "hi"}, "mutually exclusive"},
 		{[]string{"-serve", ":0", "-sample", "10", "hi"}, "full scans only"},
 		{[]string{"-join", "x:1", "hi"}, "no benchmark argument"},

@@ -81,6 +81,7 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 		{"snapshot", StrategySnapshot},
 		{"rerun", StrategyRerun},
 		{"ladder/auto", StrategyLadder},
+		{"fork/auto", StrategyFork},
 	}
 	for _, name := range progs.Names() {
 		t.Run(name, func(t *testing.T) {
@@ -113,10 +114,16 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 					}
 				}
 				// An explicit ladder interval shifts both rung and memo
-				// boundaries; outcomes must not care.
+				// boundaries; outcomes must not care. For fork it also
+				// reshapes the batch carving — more rungs, smaller batches.
 				cases = append(cases, tcase{
 					label: "ladder/7/pre=true/memo=true",
 					opts: ScanOptions{Space: space, Strategy: StrategyLadder,
+						LadderInterval: 7, Predecode: true, Memo: true},
+				})
+				cases = append(cases, tcase{
+					label: "fork/7/pre=true/memo=true",
+					opts: ScanOptions{Space: space, Strategy: StrategyFork,
 						LadderInterval: 7, Predecode: true, Memo: true},
 				})
 				// Invariant 10: telemetry observes a campaign, never steers
@@ -176,7 +183,7 @@ func TestObjectiveStrategyEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			ref := scanBytes(t, rerun)
-			for _, strat := range []Strategy{StrategySnapshot, StrategyLadder} {
+			for _, strat := range []Strategy{StrategySnapshot, StrategyLadder, StrategyFork} {
 				label := fmt.Sprintf("%s/%s/%v", space, obj, strat)
 				got, err := Scan(prog, ScanOptions{Space: space, Strategy: strat,
 					Predecode: true, Memo: true, Objective: obj})
@@ -208,7 +215,32 @@ func TestObjectiveStrategyEquivalence(t *testing.T) {
 func TestInterruptResumeEquivalence(t *testing.T) {
 	for _, name := range progs.Names() {
 		t.Run(name, func(t *testing.T) {
-			testInterruptResume(t, equivProgram(t, name), ScanOptions{})
+			testInterruptResume(t, equivProgram(t, name), ScanOptions{}, StrategyLadder)
+		})
+	}
+}
+
+// TestInterruptResumeFork is invariant 14's interrupt+resume leg: a
+// fork-strategy scan interrupted mid-run (exercising the fork feeder's
+// and workers' interrupt paths) and resumed under fork — so the resume's
+// batch carving runs on an arbitrary leftover class subset — must be
+// byte-identical to an uninterrupted scan, across all six fault spaces.
+// The dos objective on the skip space checks the attack flag survives
+// the fork round trip.
+func TestInterruptResumeFork(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts ScanOptions
+	}{
+		{"memory", ScanOptions{Space: SpaceMemory, Strategy: StrategyFork}},
+		{"registers", ScanOptions{Space: SpaceRegisters, Strategy: StrategyFork}},
+		{"skip+dos", ScanOptions{Space: SpaceSkip, Strategy: StrategyFork, Objective: "dos"}},
+		{"pc", ScanOptions{Space: SpacePC, Strategy: StrategyFork}},
+		{"burst2", ScanOptions{Space: SpaceBurst2, Strategy: StrategyFork}},
+		{"burst4", ScanOptions{Space: SpaceBurst4, Strategy: StrategyFork}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testInterruptResume(t, equivProgram(t, "bin_sem2"), tc.opts, StrategyFork)
 		})
 	}
 }
@@ -226,12 +258,12 @@ func TestInterruptResumeAttackSpaces(t *testing.T) {
 		{"burst2", ScanOptions{Space: SpaceBurst2}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			testInterruptResume(t, equivProgram(t, "bin_sem2"), tc.opts)
+			testInterruptResume(t, equivProgram(t, "bin_sem2"), tc.opts, StrategyLadder)
 		})
 	}
 }
 
-func testInterruptResume(t *testing.T, prog *Program, opts ScanOptions) {
+func testInterruptResume(t *testing.T, prog *Program, opts ScanOptions, resume Strategy) {
 	t.Helper()
 	full, err := Scan(prog, opts)
 	if err != nil {
@@ -258,12 +290,12 @@ func testInterruptResume(t *testing.T, prog *Program, opts ScanOptions) {
 	if partial == nil {
 		t.Fatal("interrupted scan must return its partial result")
 	}
-	// Resume under the ladder strategy: the first half ran under
-	// snapshot, and the checkpoint must not care.
+	// Resume under a different (or the caller's chosen) strategy: the
+	// checkpoint must not care what executed the first half.
 	ropts := opts
 	ropts.Checkpoint = ck
 	ropts.Resume = true
-	ropts.Strategy = StrategyLadder
+	ropts.Strategy = resume
 	resumed, err := Scan(prog, ropts)
 	if err != nil {
 		t.Fatal(err)

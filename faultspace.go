@@ -108,6 +108,13 @@ const (
 	// rung at-or-below its injection slot, executing only the remaining
 	// delta.
 	StrategyLadder = campaign.StrategyLadder
+	// StrategyFork batches classes along rung boundaries in injection
+	// order and advances a per-worker cursor machine monotonically
+	// through the golden run, forking a cheap dirty-page-delta child at
+	// each injection cycle — the golden prefix is simulated once per
+	// batch instead of once per experiment. The fastest strategy on full
+	// scans; see DESIGN.md §4f.
+	StrategyFork = campaign.StrategyFork
 )
 
 // Progress is one event of a scan's progress stream; see ScanOptions.

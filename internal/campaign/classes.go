@@ -84,6 +84,8 @@ func RunClasses(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		scanErr = scanRerun(t, golden, fs, cfg, todo, out, m, st)
 	case StrategyLadder:
 		scanErr = scanLadder(t, golden, fs, cfg, todo, out, m, st)
+	case StrategyFork:
+		scanErr = scanFork(t, golden, fs, cfg, todo, out, m, st)
 	}
 	if cfg.MemoCache != nil {
 		cfg.Telemetry.Gauge("memo.entries").Set(int64(cfg.MemoCache.Len()))

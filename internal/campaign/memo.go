@@ -33,6 +33,22 @@ import (
 // prefix-so-far + cached suffix, skipping the simulation; the result is
 // bit-identical to running it out (invariant 11), which the equivalence
 // matrix and the memo oracle test enforce.
+//
+// When does memoization pay? Each probe hashes the full machine state,
+// so its cost scales with RAMSize, while a hit can never save more than
+// the experiment's remaining cycle budget. On the bundled fav32
+// benchmarks every +memo row of BENCH_scan.json is SLOWER than the same
+// configuration without it (e.g. bin_sem2 snapshot+pre ~32ms → ~60ms):
+// the targets are small, most faulted runs terminate or reconverge
+// within a few hundred cycles, and under the ladder/fork strategies the
+// golden StateMatches fast path already captures the bulk of the
+// funneling, leaving the cache only the rarer non-golden continuations.
+// Memoization earns its keep on campaigns with LONG post-injection
+// tails that repeatedly funnel into few continuations — fault-tolerant
+// targets whose detectors route most faults into one recovery path, or
+// cluster campaigns where one shared cache amortizes across many units.
+// The admission gate below (memoHashBytesPerCycle) bounds the downside
+// on everything else by refusing probes that provably cannot pay off.
 
 // Memo tuning knobs.
 const (
@@ -45,6 +61,18 @@ const (
 	// memoMaxEntries caps the cache size; once full, lookups continue
 	// but no new entries are stored.
 	memoMaxEntries = 1 << 20
+
+	// memoHashBytesPerCycle calibrates the admission gate: hashing this
+	// many state bytes is assumed to cost about as much as simulating one
+	// cycle. A probe runs two maphash passes over the full ~(96+RAMSize)
+	// byte state, so its cost in simulated-cycle equivalents is
+	// 2×(96+RAMSize)/memoHashBytesPerCycle — and a hit can never save
+	// more than the experiment's remaining cycle budget. The constant is
+	// deliberately an over-estimate of maphash throughput (an
+	// under-estimate of probe cost), so the gate only skips probes that
+	// cannot pay off even under optimistic assumptions; everything else
+	// still reaches the cache and outcome bytes never depend on it.
+	memoHashBytesPerCycle = 16
 )
 
 // memoKey identifies a post-injection machine state at an experiment
@@ -152,6 +180,26 @@ type memoRun struct {
 	h1, h2 maphash.Hash
 	marks  []memoMark
 	st     *scanTel
+	// breakEven is the admission-gate threshold in cycles, computed
+	// lazily from the first probed machine's state size (0 = not yet).
+	breakEven uint64
+}
+
+// breakEvenCycles returns the probe cost in simulated-cycle equivalents
+// (see memoHashBytesPerCycle): probing a boundary with fewer remaining
+// budget cycles than this is a guaranteed net loss.
+func (mr *memoRun) breakEvenCycles(m *machine.Machine) uint64 {
+	if mr.breakEven == 0 {
+		mr.breakEven = 2 * uint64(96+m.RAMSize()) / memoHashBytesPerCycle
+	}
+	return mr.breakEven
+}
+
+// gated accounts one probe skipped by the admission gate.
+func (mr *memoRun) gated() {
+	if mr.st != nil {
+		mr.st.memoGated.Inc()
+	}
 }
 
 func newMemoRun(cache *MemoCache, st *scanTel) *memoRun {
@@ -260,6 +308,14 @@ func memoTail(m *machine.Machine, golden *trace.Golden, budget, interval uint64,
 		// strategy stops probing there too, and most runs that survive
 		// past it are headed for the budget.
 		if next >= golden.Cycles || next >= budget {
+			break
+		}
+		// Admission gate: a hit at this boundary can save at most the
+		// remaining budget; once that drops below the probe's own cost,
+		// probing is a guaranteed loss — and every later boundary is
+		// closer to the budget still, so stop probing outright.
+		if budget-next < mr.breakEvenCycles(m) {
+			mr.gated()
 			break
 		}
 		if m.Run(next) != machine.StatusRunning || m.Cycles() != next {

@@ -56,7 +56,7 @@ func TestMemoOracleRandomCoordinates(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		targets = append(targets, randomTarget(rng, 8+rng.Intn(12)))
 	}
-	strategies := []Strategy{StrategySnapshot, StrategyRerun, StrategyLadder}
+	strategies := []Strategy{StrategySnapshot, StrategyRerun, StrategyLadder, StrategyFork}
 	for ti, target := range targets {
 		golden, fs, err := target.Prepare(1 << 12)
 		if err != nil {
@@ -104,7 +104,7 @@ func TestMemoCacheHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, strat := range []Strategy{StrategySnapshot, StrategyRerun, StrategyLadder} {
+	for _, strat := range []Strategy{StrategySnapshot, StrategyRerun, StrategyLadder, StrategyFork} {
 		reg := telemetry.New()
 		cache := NewMemoCache()
 		res, err := FullScan(target, golden, fs, Config{
@@ -119,9 +119,9 @@ func TestMemoCacheHits(t *testing.T) {
 		}
 		snap := reg.Snapshot()
 		hits, misses := snap.Counters["memo.hits"], snap.Counters["memo.misses"]
-		if strat != StrategyLadder && hits == 0 {
-			// Under the ladder strategy golden-state convergence is
-			// consumed by the StateMatches fast path first, so memo hits
+		if strat != StrategyLadder && strat != StrategyFork && hits == 0 {
+			// Under the ladder and fork strategies golden-state convergence
+			// is consumed by the StateMatches fast path first, so memo hits
 			// may legitimately be rare there; snapshot and rerun have no
 			// such competitor and must hit.
 			t.Errorf("%s: memo.hits = 0 (misses %d, %d entries) — cache never fired",
@@ -136,6 +136,52 @@ func TestMemoCacheHits(t *testing.T) {
 		if snap.Gauges["memo.entries"] != int64(cache.Len()) {
 			t.Errorf("%s: memo.entries gauge = %d, want %d",
 				strat, snap.Gauges["memo.entries"], cache.Len())
+		}
+	}
+}
+
+// TestMemoAdmissionGate pins the probe admission gate: on a target whose
+// cycle budget sits below the hash-cost break-even threshold (large RAM,
+// tight TimeoutFactor), every probe is refused — the cache never fires
+// and never fills — while the outcomes still match an unmemoized scan.
+// Here breakEven = 2×(96+4096)/memoHashBytesPerCycle = 524 cycles but
+// the budget is only golden (16) + slack (256) cycles.
+func TestMemoAdmissionGate(t *testing.T) {
+	target := convergentTarget()
+	target.Name = "convergent-big"
+	target.Mach.RAMSize = 4096
+	golden, fs, err := target.Prepare(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FullScan(target, golden, fs, Config{TimeoutFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategySnapshot, StrategyRerun, StrategyLadder, StrategyFork} {
+		reg := telemetry.New()
+		cache := NewMemoCache()
+		res, err := FullScan(target, golden, fs, Config{
+			Strategy: strat, LadderInterval: 1, TimeoutFactor: 1,
+			MemoCache: cache, Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for ci := range ref.Outcomes {
+			if res.Outcomes[ci] != ref.Outcomes[ci] {
+				t.Fatalf("%s: class %d: gated=%v plain=%v", strat, ci, res.Outcomes[ci], ref.Outcomes[ci])
+			}
+		}
+		snap := reg.Snapshot()
+		if h, m := snap.Counters["memo.hits"], snap.Counters["memo.misses"]; h+m != 0 {
+			t.Errorf("%s: %d hits + %d misses — gate admitted unpayable probes", strat, h, m)
+		}
+		if snap.Counters["memo.gated"] == 0 {
+			t.Errorf("%s: memo.gated = 0 — gate never exercised", strat)
+		}
+		if cache.Len() != 0 {
+			t.Errorf("%s: cache holds %d entries, want 0", strat, cache.Len())
 		}
 	}
 }

@@ -163,16 +163,12 @@ func composeOutcome(obj *Objective, status machine.Status, exc machine.Exception
 	return obj.apply(base, status, exc, len(serial)+len(suffix), detects, corrects, golden)
 }
 
-// classifyHalted classifies a run that halted normally with the given
-// final serial output and event counters.
-func classifyHalted(serial []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
-	return classifyHaltedParts(serial, nil, detects, corrects, golden)
-}
-
-// classifyHaltedParts is classifyHalted over a serial output given as
-// prefix + suffix, compared without concatenation: the run's output is
-// the golden output / a strict prefix of it / something else exactly
+// classifyHaltedParts classifies a run that halted normally with the
+// given final serial output and event counters, the output given as
+// prefix + suffix and compared without concatenation: the run's output
+// is the golden output / a strict prefix of it / something else exactly
 // when the two parts line up against the corresponding golden slices.
+// An empty suffix degenerates to the plain whole-output comparison.
 func classifyHaltedParts(prefix, suffix []byte, detects, corrects uint64, golden *trace.Golden) Outcome {
 	g := golden.Serial
 	n := len(prefix) + len(suffix)
@@ -194,21 +190,23 @@ func classifyHaltedParts(prefix, suffix []byte, detects, corrects uint64, golden
 // reconverged with the golden run at ladder rung r (StateMatches): the
 // continuation is a cycle-for-cycle golden replay ending in a normal
 // halt, so the final serial output and event counters are the current
-// values plus the golden remainder — no further simulation needed.
+// values plus the golden remainder — no further simulation needed. The
+// two serial parts are compared in place (classifyHaltedParts), never
+// concatenated, keeping the reconvergence path allocation-free — under
+// ladder and fork this is the most common way an experiment ends, so it
+// sits squarely on the scan hot path (TestClassifyConvergedAllocFree).
 // Serial-flood is no concern: if the composed output exceeded the
 // machine's serial cap it necessarily differs from the golden output,
-// and both the real run (ExcSerialLimit) and classifyHalted call that
-// SDC.
+// and both the real run (ExcSerialLimit) and classifyHaltedParts call
+// that SDC.
 func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *trace.Golden, obj *Objective) Outcome {
 	serialLen, gdet, gcor := l.RungAccum(r)
-	serial := m.Serial()
-	if rest := golden.Serial[serialLen:]; len(rest) > 0 {
-		serial = append(serial[:len(serial):len(serial)], rest...)
-	}
+	suffix := golden.Serial[serialLen:]
 	detects := m.DetectCount() + (golden.Detects - gdet)
 	corrects := m.CorrectCount() + (golden.Corrects - gcor)
-	base := classifyHalted(serial, detects, corrects, golden)
-	return obj.apply(base, machine.StatusHalted, machine.ExcNone, len(serial), detects, corrects, golden)
+	base := classifyHaltedParts(m.SerialView(), suffix, detects, corrects, golden)
+	return obj.apply(base, machine.StatusHalted, machine.ExcNone,
+		m.SerialLen()+len(suffix), detects, corrects, golden)
 }
 
 // runConverge finishes an injected experiment under the ladder
@@ -219,9 +217,16 @@ func classifyConverged(m *machine.Machine, l *machine.Ladder, r int, golden *tra
 // rung — it outlived the golden run, so it can only halt abnormally or
 // time out — is driven toward the cycle budget under loop detection,
 // which proves most Timeout verdicts as soon as the spin loop closes
-// instead of simulating the full budget. Neither shortcut changes any
-// outcome relative to rerun: reconvergence implies a golden
-// continuation, and state recurrence implies the budget is unreachable.
+// instead of simulating the full budget. Loop detection starts early:
+// from the first rung whose convergence check fails — most faults that
+// spin forever enter their loop well before the golden run's end, and
+// an exact-state recurrence is an equally sound infinity proof at any
+// cycle (the objective layer masks serial/counter observables for
+// non-halted runs, so proof timing is unobservable). Converging
+// experiments, the common case, never pay a single probe. Neither
+// shortcut changes any outcome relative to rerun: reconvergence
+// implies a golden continuation, and state recurrence implies the
+// budget is unreachable.
 //
 // A non-nil mr adds the cross-experiment shortcut at the same rung
 // boundaries: states that do NOT match the golden rung are probed
@@ -236,8 +241,23 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 	if mr != nil {
 		mr.reset()
 	}
+	probing := false
 	for r := l.Find(m.Cycles()) + 1; r < l.Rungs(); r++ {
-		if m.Run(l.RungCycle(r)) != machine.StatusRunning {
+		if probing {
+			if det.RunDetectLoop(m, l.RungCycle(r)) {
+				if st != nil {
+					st.loopProofs.Inc()
+				}
+				o := classify(m, golden, obj)
+				if mr != nil {
+					mr.populate(m)
+				}
+				return o
+			}
+			if m.Status() != machine.StatusRunning {
+				break
+			}
+		} else if m.Run(l.RungCycle(r)) != machine.StatusRunning {
 			break
 		}
 		if l.StateMatches(m, r) {
@@ -255,16 +275,26 @@ func runConverge(m *machine.Machine, l *machine.Ladder, golden *trace.Golden, bu
 			return o
 		}
 		if mr != nil && !mr.exhausted() {
-			if e, hit := mr.probe(m); hit {
+			// Admission gate: skip the probe when the remaining budget
+			// cannot repay the state-hash cost (see memoHashBytesPerCycle).
+			if budget-m.Cycles() < mr.breakEvenCycles(m) {
+				mr.gated()
+			} else if e, hit := mr.probe(m); hit {
 				o := composeOutcome(obj, e.status, e.exc, m.SerialView(), e.serial,
 					m.DetectCount()+e.detects, m.CorrectCount()+e.corrects, golden)
 				mr.populateComposed(m, e.status, e.exc, e.serial, e.detects, e.corrects)
 				return o
 			}
 		}
+		if !probing {
+			probing = true
+			det.Reset()
+		}
 	}
 	if m.Status() == machine.StatusRunning && m.Cycles() < budget {
-		det.Reset()
+		if !probing {
+			det.Reset()
+		}
 		if det.RunDetectLoop(m, budget) && st != nil {
 			st.loopProofs.Inc()
 		}

@@ -40,6 +40,15 @@ const (
 	// the strategy of choice for cluster workers running arbitrary class
 	// subsets (RunClasses).
 	StrategyLadder
+	// StrategyFork batches classes along ladder-rung boundaries in
+	// injection-cycle order: each worker restores the batch's rung ONCE,
+	// advances a cursor machine monotonically through the golden run, and
+	// at each injection cycle forks a cheap dirty-page-delta child
+	// (machine.Forker) to run only the faulty suffix — the golden prefix
+	// between injections is simulated once per batch instead of once per
+	// experiment (ladder replays rung→slot for every class). Fastest on
+	// full scans and dense class subsets; see DESIGN.md §4f.
+	StrategyFork
 )
 
 // String names the strategy as reports and run manifests spell it. The
@@ -50,6 +59,8 @@ func (s Strategy) String() string {
 		return "rerun"
 	case StrategyLadder:
 		return "ladder"
+	case StrategyFork:
+		return "fork"
 	case StrategySnapshot, 0:
 		return "snapshot"
 	}
@@ -71,7 +82,8 @@ type Config struct {
 	Workers int
 	// Strategy selects the execution strategy. 0 means StrategySnapshot.
 	Strategy Strategy
-	// LadderInterval is the rung spacing in cycles for StrategyLadder:
+	// LadderInterval is the rung spacing in cycles for StrategyLadder
+	// and StrategyFork (which batches work along the same rungs):
 	// smaller intervals mean less delta re-execution per experiment but
 	// more snapshot memory. 0 auto-tunes from the golden-trace length
 	// (aiming at DefaultLadderRungs rungs, at least MinLadderInterval
@@ -154,6 +166,17 @@ const (
 	// MinLadderInterval floors the auto-tuned rung spacing so very short
 	// golden runs do not snapshot after every other instruction.
 	MinLadderInterval = 16
+
+	// DefaultForkRungs is the rung count the fork strategy's interval
+	// auto-tuner aims for. Fork rungs are never restore sources for
+	// experiments — the monotone cursor pays each rung restore once per
+	// batch, not once per class — so they only serve as convergence
+	// checkpoints and batch-carving anchors. Each checkpoint costs a
+	// Run-call boundary plus a StateMatches compare per in-flight child,
+	// while coarser spacing merely lets a reconverged child coast up to
+	// one interval past its convergence point; the balance lands at far
+	// fewer, far wider rungs than the ladder strategy wants.
+	DefaultForkRungs = 4
 )
 
 func (c Config) withDefaults() Config {
@@ -183,7 +206,7 @@ func (c Config) validate() error {
 		return fmt.Errorf("campaign: Workers %d must be >= 1", c.Workers)
 	}
 	switch c.Strategy {
-	case StrategySnapshot, StrategyRerun, StrategyLadder:
+	case StrategySnapshot, StrategyRerun, StrategyLadder, StrategyFork:
 	default:
 		return fmt.Errorf("campaign: unknown strategy %d", c.Strategy)
 	}
@@ -204,6 +227,21 @@ func (c Config) ladderInterval(goldenCycles uint64) uint64 {
 		return c.LadderInterval
 	}
 	iv := goldenCycles / DefaultLadderRungs
+	if iv < MinLadderInterval {
+		iv = MinLadderInterval
+	}
+	return iv
+}
+
+// forkInterval returns the effective rung spacing for StrategyFork: an
+// explicit LadderInterval is honored verbatim, otherwise the auto-tuner
+// aims at DefaultForkRungs rungs (see that constant for why fork wants
+// much coarser rungs than ladder).
+func (c Config) forkInterval(goldenCycles uint64) uint64 {
+	if c.LadderInterval > 0 {
+		return c.LadderInterval
+	}
+	iv := goldenCycles / DefaultForkRungs
 	if iv < MinLadderInterval {
 		iv = MinLadderInterval
 	}

@@ -21,19 +21,34 @@ type scanTel struct {
 	attacks *telemetry.Counter
 
 	// Ladder-strategy shortcut counters (nil under other strategies):
-	// rungRestores counts experiments served from a rung, reconverged
-	// counts runs whose outcome was composed from the golden trace after
-	// their state rejoined it, loopProofs counts Timeout verdicts proven
-	// by state recurrence instead of simulating the full budget.
+	// rungRestores counts rung restores — one per experiment under
+	// ladder, one per batch under fork — reconverged counts runs whose
+	// outcome was composed from the golden trace after their state
+	// rejoined it, loopProofs counts Timeout verdicts proven by state
+	// recurrence instead of simulating the full budget. The fork
+	// strategy shares reconverged/loopProofs: its children run the same
+	// runConverge suffix driver.
 	rungRestores *telemetry.Counter
 	reconverged  *telemetry.Counter
 	loopProofs   *telemetry.Counter
 
+	// Fork-strategy counters (nil under other strategies): forkChildren
+	// counts forked child machines (one per experiment), forkSaved
+	// accumulates golden-prefix cycles NOT replayed versus the ladder
+	// strategy (cursor position minus batch rung cycle at each fork),
+	// forkBatches records batch sizes in classes.
+	forkChildren *telemetry.Counter
+	forkSaved    *telemetry.Counter
+	forkBatches  *telemetry.Histogram
+
 	// Memoization counters (nil with memoization off): memoHits counts
 	// experiments whose remainder was composed from a cached entry,
-	// memoMisses counts cache probes that recorded a mark instead.
+	// memoMisses counts cache probes that recorded a mark instead,
+	// memoGated counts probes skipped by the admission gate because the
+	// remaining cycle budget could not repay the hash cost.
 	memoHits   *telemetry.Counter
 	memoMisses *telemetry.Counter
+	memoGated  *telemetry.Counter
 	// predecodeInvals accumulates predecode-cache invalidations across
 	// the scan's machines (nil with predecode off). Structurally zero for
 	// Harvard-architecture campaign machines — the ROM is fault-immune,
@@ -58,14 +73,20 @@ func newScanTel(cfg Config) *scanTel {
 	if cfg.Objective != nil {
 		st.attacks = r.Counter("scan.attacks")
 	}
-	if cfg.Strategy == StrategyLadder {
+	if cfg.Strategy == StrategyLadder || cfg.Strategy == StrategyFork {
 		st.rungRestores = r.Counter("ladder.rung_restores")
 		st.reconverged = r.Counter("ladder.reconverged")
 		st.loopProofs = r.Counter("ladder.loop_proofs")
 	}
+	if cfg.Strategy == StrategyFork {
+		st.forkChildren = r.Counter("fork.children")
+		st.forkSaved = r.Counter("fork.prefix_cycles_saved")
+		st.forkBatches = r.Histogram("fork.batch_sizes")
+	}
 	if cfg.memoEnabled() {
 		st.memoHits = r.Counter("memo.hits")
 		st.memoMisses = r.Counter("memo.misses")
+		st.memoGated = r.Counter("memo.gated")
 	}
 	if cfg.Predecode {
 		st.predecodeInvals = r.Counter("predecode.invalidations")

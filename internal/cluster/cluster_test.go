@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -176,6 +177,58 @@ func TestClusterKillWorkerMidScan(t *testing.T) {
 	assertPlacementEquivalent(t, tgt, golden, fs, res)
 	if got := coord.Snapshot().Reassignments; got < 1 {
 		t.Errorf("reassignments = %d, want >= 1 (the victim's leased unit must expire and move)", got)
+	}
+}
+
+// TestClusterUnitOrderInvariance pins two properties of the unit
+// carving. First, every unit's class list is injection-ordered (the
+// fork worker's monotone-cursor precondition). Second, the order units
+// are GRANTED in must not matter: with the coordinator's pending queue
+// shuffled and a fork-strategy worker draining it, the merged outcome
+// vector — and with it every archived report, which is a pure function
+// of target, space, identity and outcomes — stays byte-identical to a
+// local FullScan and to an unshuffled cluster run.
+func TestClusterUnitOrderInvariance(t *testing.T) {
+	tgt, golden, fs := testCampaign(t, "bin_sem2")
+	outcomesOf := func(shuffleSeed int64) []campaign.Outcome {
+		coord, err := NewCoordinator(tgt, golden, fs, campaign.Config{}, Options{
+			UnitSize:        16,
+			MaxGoldenCycles: testMaxGolden,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range coord.units {
+			for i := 1; i < len(u.classes); i++ {
+				if fs.Classes[u.classes[i]].Slot() < fs.Classes[u.classes[i-1]].Slot() {
+					t.Fatalf("unit %d not injection-ordered at position %d", u.id, i)
+				}
+			}
+		}
+		if shuffleSeed != 0 {
+			rng := rand.New(rand.NewSource(shuffleSeed))
+			rng.Shuffle(len(coord.pending), func(i, j int) {
+				coord.pending[i], coord.pending[j] = coord.pending[j], coord.pending[i]
+			})
+		}
+		res, errs := runCluster(t, coord, []WorkerOptions{
+			{ID: "fork", Strategy: campaign.StrategyFork},
+		})
+		if errs[0] != nil {
+			t.Fatal(errs[0])
+		}
+		assertPlacementEquivalent(t, tgt, golden, fs, res)
+		return res.Outcomes
+	}
+	ref := outcomesOf(0)
+	for _, seed := range []int64{1, 2} {
+		got := outcomesOf(seed)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("seed %d: class %d: %v, want %v (grant order leaked into outcomes)",
+					seed, i, got[i], ref[i])
+			}
+		}
 	}
 }
 

@@ -19,8 +19,10 @@ import (
 // Options parameterizes a Coordinator.
 type Options struct {
 	// UnitSize is the number of equivalence classes per work unit
-	// (default DefaultUnitSize). Units are contiguous class-index ranges,
-	// so a snapshot-strategy worker replays each golden prefix once.
+	// (default DefaultUnitSize). Units are contiguous injection-ordered
+	// class-index ranges, so a snapshot-strategy worker replays each
+	// golden prefix once and a fork-strategy worker carves dense batches
+	// along rung boundaries.
 	UnitSize int
 	// LeaseTTL is how long a leased unit may go without a heartbeat or
 	// submission before it is reassigned (default DefaultLeaseTTL).
@@ -235,6 +237,15 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 			todo = append(todo, i)
 		}
 	}
+	// Carve units in injection order: class indices are (Slot, Bit)-sorted
+	// by construction, and this stable sort turns that into an explicit
+	// contract of the carving rather than an accident of the pruning
+	// layer — fork-strategy workers batch each leased unit along rung
+	// boundaries and rely on ascending injection cycles for their monotone
+	// golden cursor (internal/campaign scanFork).
+	sort.SliceStable(todo, func(i, j int) bool {
+		return fs.Classes[todo[i]].Slot() < fs.Classes[todo[j]].Slot()
+	})
 	for len(todo) > 0 {
 		n := opts.UnitSize
 		if n > len(todo) {

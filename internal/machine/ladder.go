@@ -275,6 +275,13 @@ func (l *Ladder) NewCursor(m *Machine) *Cursor {
 	return &Cursor{l: l, m: m}
 }
 
+// Invalidate drops the cursor's knowledge of the machine's state: the
+// next Restore copies every page. Required when something other than
+// the machine's own dirty-tracked execution consumed or reset the dirty
+// bits — the fork scan's Forker does exactly that (machine/fork.go), so
+// it invalidates its parent cursor before every batch restore.
+func (c *Cursor) Invalidate() { c.valid = false }
+
 // Restore sets the cursor's machine to the state of rung r.
 //
 // The first restore copies every page. Subsequent restores copy only the

@@ -7,11 +7,39 @@ import (
 )
 
 // LoopProbeInterval is the default cycle spacing between loop-detector
-// probes. Each probe costs one full state comparison (O(RAM)), so the
-// spacing trades detection latency against probe overhead; any finite
-// loop is still detected regardless of how its period relates to the
-// spacing (see Probe).
+// probes. Each probe costs one ring insertion (O(RAM) bytes copied) plus
+// a hash-chain scan, so the spacing trades detection latency against
+// probe overhead; any finite loop is still detected regardless of how
+// its period relates to the spacing (see Probe). 16 is measured, not
+// guessed: halving it halves ring detection latency in cycles but
+// roughly doubles the probe volume, and on the bundled kernels the
+// probe cost (a RAM copy per ring insert) wins.
 const LoopProbeInterval = 16
+
+// Ring geometry. loopRingSize probes of history bound the recurrence
+// window: a loop of period L is caught by the ring when its probe-level
+// period L/gcd(interval, L) fits the window. 64 entries cover every
+// spin-loop period the Figure-2 kernels exhibit (62–116 cycles) with
+// room to spare; rarer long or interval-coprime periods fall through to
+// the Brent anchor. loopSlotCount is the pc hash-chain head count.
+const (
+	loopRingSize  = 64 // power of two
+	loopSlotCount = 128
+)
+
+// ringEntry is one probe state in the recurrence ring. The RAM buffer is
+// reused across probes and experiments; prev chains to the previous
+// probe whose pc hashed to the same slot (-1 ends the chain).
+type ringEntry struct {
+	pc        uint32
+	savedPC   uint32
+	rel       uint64
+	serialLen int
+	prev      int
+	inIRQ     bool
+	regs      [isa.NumRegs]uint32
+	ram       []byte
+}
 
 // LoopDetector proves that a running machine can never halt, by exact
 // state recurrence: the machine is deterministic, so if its complete
@@ -23,12 +51,18 @@ const LoopProbeInterval = 16
 // simulating them to the full cycle budget; the verdict is independent
 // of the budget, so outcomes are unchanged.
 //
-// Detection uses Brent's algorithm over probes taken every `interval`
-// cycles: one anchored reference state is compared against the current
-// state at each probe, and the anchor is re-taken when the probe count
-// since the last anchor reaches a power of two. A loop of period L
-// recurs at probe granularity after lcm(interval, L) cycles, which the
-// doubling anchor window always ends up covering.
+// Detection is two-tiered. The primary tier is a recurrence ring: the
+// last loopRingSize probe states are retained verbatim, indexed by a
+// pc-keyed hash chain, and the current state is compared against every
+// retained probe that shares its pc. A loop of period L recurs at probe
+// distance L/gcd(interval, L), so the ring proves it after at most
+// interval·L/gcd(interval, L) cycles — for the scheduler-round spin
+// loops that dominate real campaigns (L under ~100 cycles) that is a
+// few hundred cycles, several times earlier than an anchor-doubling
+// scheme settles. The fallback tier is Brent's algorithm (one anchored
+// reference, re-anchored when the probe count since the last anchor
+// reaches a power of two): it needs no history window, so it eventually
+// proves any recurring loop the ring's bounded history misses.
 //
 // The detect/correct counters are deliberately excluded from the state:
 // MMIO ports are write-only, so the counters never influence execution,
@@ -38,6 +72,16 @@ const LoopProbeInterval = 16
 // infinite.
 type LoopDetector struct {
 	interval uint64
+
+	// Recurrence ring: ringN probes taken so far; probe i lives in
+	// ring[i % loopRingSize] until overwritten by probe i+loopRingSize.
+	// slots[h] holds 1 + the sequence number of the newest probe whose
+	// pc hashes to h (0 = none).
+	ringN int
+	ring  [loopRingSize]ringEntry
+	slots [loopSlotCount]int32
+
+	// Brent fallback state.
 	probes   uint64 // probes since the last anchor
 	window   uint64 // probes until the next re-anchor (doubles)
 	anchored bool
@@ -64,9 +108,12 @@ func NewLoopDetector(interval uint64) *LoopDetector {
 // Interval returns the probe spacing in cycles.
 func (d *LoopDetector) Interval() uint64 { return d.interval }
 
-// Reset discards the anchored reference so the detector can track a new
-// run. The RAM buffer is retained to avoid per-experiment allocation.
+// Reset discards the ring history and the anchored reference so the
+// detector can track a new run. The RAM buffers are retained to avoid
+// per-experiment allocation.
 func (d *LoopDetector) Reset() {
+	d.ringN = 0
+	clear(d.slots[:])
 	d.probes = 0
 	d.window = 1
 	d.anchored = false
@@ -83,12 +130,39 @@ func (m *Machine) timerRel() uint64 {
 	return 0
 }
 
-// Probe compares the machine's state against the anchored reference and
-// reports true if it recurred — proof of an infinite loop. Otherwise it
-// advances Brent's window, re-anchoring when due. The machine must be
-// running.
+// pcSlot hashes a program counter to a chain-head slot.
+func pcSlot(pc uint32) uint32 {
+	return (pc * 2654435761) >> 16 & (loopSlotCount - 1)
+}
+
+// Probe compares the machine's state against the retained probe history
+// and reports true if any retained state recurred — proof of an
+// infinite loop. Otherwise the state is added to the ring and the Brent
+// anchor advances. The machine must be running.
 func (d *LoopDetector) Probe(m *Machine) bool {
 	rel := m.timerRel()
+
+	// Ring tier: walk the hash chain of probes sharing this pc, newest
+	// first. A chain entry older than the ring window has been
+	// overwritten; prev links only ever point further back, so the walk
+	// stops there.
+	h := pcSlot(m.pc)
+	for seq := int(d.slots[h]) - 1; seq >= 0 && d.ringN-seq <= loopRingSize; {
+		e := &d.ring[seq&(loopRingSize-1)]
+		if e.pc == m.pc &&
+			e.serialLen == len(m.serial) &&
+			e.inIRQ == m.inIRQ &&
+			e.savedPC == m.savedPC &&
+			e.rel == rel &&
+			e.regs == m.regs &&
+			bytes.Equal(e.ram, m.ram) {
+			return true
+		}
+		seq = e.prev
+	}
+
+	// Brent tier: exactly the classic anchor check, for loops whose
+	// probe-level period exceeds the ring window.
 	if d.anchored &&
 		m.pc == d.refPC &&
 		len(m.serial) == d.refSerial &&
@@ -99,6 +173,21 @@ func (d *LoopDetector) Probe(m *Machine) bool {
 		bytes.Equal(m.ram, d.refRAM) {
 		return true
 	}
+
+	// No recurrence: retain the current state in the ring...
+	e := &d.ring[d.ringN&(loopRingSize-1)]
+	e.pc = m.pc
+	e.savedPC = m.savedPC
+	e.rel = rel
+	e.serialLen = len(m.serial)
+	e.inIRQ = m.inIRQ
+	e.regs = m.regs
+	e.ram = append(e.ram[:0], m.ram...)
+	e.prev = int(d.slots[h]) - 1
+	d.slots[h] = int32(d.ringN) + 1
+	d.ringN++
+
+	// ...and advance the Brent window.
 	d.probes++
 	if d.probes >= d.window {
 		d.probes = 0

@@ -236,47 +236,79 @@ func FromClasses(kind SpaceKind, cycles, bits uint64, classes []Class, knownNoEf
 // number of fault-space coordinates per accessed byte: 8 for single-bit
 // spaces, 9−k for k-bit burst spaces (every access covers whole bytes, so
 // all coordinates of a byte share its event stream).
+//
+// The construction is allocation-light on purpose: PrepareSpace runs once
+// per scan (and once per benchmark iteration), and the map-of-slices +
+// reflection-sort version of this function used to cost as much as a
+// third of the executor's per-scan budget. Bit indices are dense — Bits
+// is the RAM, register-file or burst coordinate count, bounded by the
+// 64 KiB RAM ceiling — so per-bit event lists live in one flat array
+// carved by prefix sums, and the final (Slot, Bit) ordering falls out of
+// a counting sort over UseCycle rather than a comparison sort: the
+// bit-major construction already yields ascending UseCycle per bit and
+// ascending Bit per UseCycle, and counting placement is stable.
 func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access, perByte uint64) (*FaultSpace, error) {
 	fs := &FaultSpace{
 		Kind:   kind,
 		Cycles: cycles,
 		Bits:   bits,
-		byBit:  make(map[uint64][]int32),
 	}
 
-	// Bits never accessed contribute Cycles coordinates of known No Effect
-	// each; touched bits are processed from their per-bit event lists.
-	type event struct {
-		cycle uint64
-		read  bool
-	}
-	perBit := make(map[uint64][]event)
+	// Pass 1: count events per bit.
+	counts := make([]int32, bits)
 	for _, a := range accesses {
 		if a.Cycle == 0 || a.Cycle > cycles {
 			return nil, fmt.Errorf("pruning: access at cycle %d outside run of %d cycles", a.Cycle, cycles)
 		}
-		read := a.Kind == machine.AccessRead
 		base := uint64(a.Addr) * perByte
-		for i := uint64(0); i < uint64(a.Size)*perByte; i++ {
-			bit := base + i
-			if bit >= bits {
-				return nil, fmt.Errorf("pruning: access to bit %d outside %s space (%d bits)", bit, kind, bits)
-			}
-			perBit[bit] = append(perBit[bit], event{cycle: a.Cycle, read: read})
+		n := uint64(a.Size) * perByte
+		if base+n > bits {
+			return nil, fmt.Errorf("pruning: access to bit %d outside %s space (%d bits)", base+n-1, kind, bits)
+		}
+		for i := base; i < base+n; i++ {
+			counts[i]++
 		}
 	}
 
-	touched := make([]uint64, 0, len(perBit))
-	for bit := range perBit {
-		touched = append(touched, bit)
+	// Carve one flat event array into per-bit lists via prefix sums. An
+	// event packs (cycle << 1 | isRead) into a uint64; cycle counts fit
+	// 63 bits by construction.
+	starts := make([]int32, bits+1)
+	var total int32
+	for b, c := range counts {
+		starts[b] = total
+		total += c
 	}
-	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	starts[bits] = total
+	events := make([]uint64, total)
+	fill := make([]int32, bits)
+	copy(fill, starts[:bits])
+	for _, a := range accesses {
+		ev := a.Cycle << 1
+		if a.Kind == machine.AccessRead {
+			ev |= 1
+		}
+		base := uint64(a.Addr) * perByte
+		n := uint64(a.Size) * perByte
+		for i := base; i < base+n; i++ {
+			events[fill[i]] = ev
+			fill[i]++
+		}
+	}
 
-	untouchedBits := bits - uint64(len(touched))
-	fs.KnownNoEffect = untouchedBits * cycles
-
-	for _, bit := range touched {
-		events := perBit[bit]
+	// Pass 2 over per-bit event lists: validate monotonicity, account
+	// known-No-Effect weight, and count the classes (reads) per UseCycle
+	// for the counting sort. Bits never accessed contribute Cycles
+	// coordinates of known No Effect each.
+	perCycle := make([]int32, cycles+2)
+	var touched uint64
+	var nclasses int32
+	for bit := uint64(0); bit < bits; bit++ {
+		evs := events[starts[bit]:starts[bit+1]]
+		if len(evs) == 0 {
+			continue
+		}
+		touched++
 		// The trace is recorded in execution order. Per bit the cycles are
 		// strictly increasing, except that a register read may be followed
 		// by a write of the same register in the same cycle (the
@@ -284,34 +316,44 @@ func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access, pe
 		// zero-length overwritten interval, which is fine.
 		prev := uint64(0)
 		prevRead := false
-		for _, ev := range events {
-			if ev.cycle < prev || (ev.cycle == prev && !(prevRead && !ev.read)) {
-				return nil, fmt.Errorf("pruning: non-monotonic events for bit %d (cycle %d after %d)", bit, ev.cycle, prev)
+		for _, ev := range evs {
+			cycle, read := ev>>1, ev&1 != 0
+			if cycle < prev || (cycle == prev && !(prevRead && !read)) {
+				return nil, fmt.Errorf("pruning: non-monotonic events for bit %d (cycle %d after %d)", bit, cycle, prev)
 			}
-			span := ev.cycle - prev
-			if ev.read {
-				fs.byBit[bit] = append(fs.byBit[bit], int32(len(fs.Classes)))
-				fs.Classes = append(fs.Classes, Class{Bit: bit, DefCycle: prev, UseCycle: ev.cycle})
+			if read {
+				perCycle[cycle+1]++
+				nclasses++
 			} else {
 				// Injections in (prev, cycle] are overwritten by this write.
-				fs.KnownNoEffect += span
+				fs.KnownNoEffect += cycle - prev
 			}
-			prev = ev.cycle
-			prevRead = ev.read
+			prev = cycle
+			prevRead = read
 		}
 		// Tail after the last access: dormant, never read again.
 		fs.KnownNoEffect += cycles - prev
 	}
+	fs.KnownNoEffect += (bits - touched) * cycles
 
-	// Classes are appended bit-major; re-sort by (Slot, Bit) so campaign
-	// engines can advance a single pioneer machine monotonically in time.
-	sort.Slice(fs.Classes, func(i, j int) bool {
-		a, b := fs.Classes[i], fs.Classes[j]
-		if a.UseCycle != b.UseCycle {
-			return a.UseCycle < b.UseCycle
+	// Counting sort: place classes directly in canonical (Slot, Bit)
+	// order, which the campaign engines need to advance a single pioneer
+	// machine monotonically in time.
+	for c := uint64(1); c < cycles+2; c++ {
+		perCycle[c] += perCycle[c-1]
+	}
+	fs.Classes = make([]Class, nclasses)
+	for bit := uint64(0); bit < bits; bit++ {
+		prev := uint64(0)
+		for _, ev := range events[starts[bit]:starts[bit+1]] {
+			cycle, read := ev>>1, ev&1 != 0
+			if read {
+				fs.Classes[perCycle[cycle]] = Class{Bit: bit, DefCycle: prev, UseCycle: cycle}
+				perCycle[cycle]++
+			}
+			prev = cycle
 		}
-		return a.Bit < b.Bit
-	})
+	}
 	indexByBit(fs)
 
 	if err := fs.checkPartition(); err != nil {
@@ -320,10 +362,23 @@ func buildSpace(kind SpaceKind, cycles, bits uint64, accesses []trace.Access, pe
 	return fs, nil
 }
 
-// indexByBit (re)builds the per-bit class index.
+// indexByBit (re)builds the per-bit class index. Classes are in
+// canonical (Slot, Bit) order, so appending class indices bit by bit
+// yields per-bit lists sorted by UseCycle, as Locate requires. The
+// lists are carved from one flat backing array sized by a counting
+// pass, so the index costs two slice allocations regardless of how
+// many bits are touched.
 func indexByBit(fs *FaultSpace) {
-	for bit := range fs.byBit {
-		fs.byBit[bit] = fs.byBit[bit][:0]
+	counts := make(map[uint64]int32, len(fs.byBit))
+	for _, c := range fs.Classes {
+		counts[c.Bit]++
+	}
+	backing := make([]int32, 0, len(fs.Classes))
+	fs.byBit = make(map[uint64][]int32, len(counts))
+	for bit, n := range counts {
+		lo := len(backing)
+		backing = backing[:lo+int(n)]
+		fs.byBit[bit] = backing[lo:lo:lo+int(n)]
 	}
 	for i, c := range fs.Classes {
 		fs.byBit[c.Bit] = append(fs.byBit[c.Bit], int32(i))

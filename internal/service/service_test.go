@@ -579,6 +579,58 @@ func localReportSpace(t testing.TB, name string, kind pruning.SpaceKind, objecti
 	return buf.Bytes()
 }
 
+// TestFleetForkStrategy runs a fleet whose workers execute their leased
+// units under the fork strategy: the service-produced report must stay
+// byte-identical to a local scan (invariant 8/12 for the fourth
+// strategy), and the campaign's own telemetry must show the fork path
+// actually ran — children forked and golden-prefix cycles saved.
+func TestFleetForkStrategy(t *testing.T) {
+	spec := testSpec(t, "bin_sem2", 0)
+	want := localReport(t, "bin_sem2", 0)
+
+	svc, srv := startService(t, Options{})
+	intr := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		JoinFleet(srv.URL, FleetOptions{
+			ID:           "fork-fleet",
+			PollInterval: 10 * time.Millisecond,
+			Interrupt:    intr,
+			Worker:       cluster.WorkerOptions{Strategy: campaign.StrategyFork},
+			TelemetryFor: func(s cluster.Spec) *telemetry.Registry {
+				return svc.CampaignTelemetry(s.Identity)
+			},
+		})
+	}()
+	t.Cleanup(func() {
+		once.Do(func() { close(intr) })
+		wg.Wait()
+	})
+
+	st, resp := submitSpec(t, srv.URL, spec, "alice")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	st = waitDone(t, srv.URL, st.ID)
+	if st.State != StateDone || st.Cached {
+		t.Fatalf("state %s cached %v, want a live done run", st.State, st.Cached)
+	}
+	if got := fetchReport(t, srv.URL, st.ID); !bytes.Equal(got, want) {
+		t.Fatal("fork-fleet report differs from local scan (invariant 8/12 broken)")
+	}
+	reg := svc.CampaignTelemetry(spec.Identity)
+	if reg.Counter("fork.children").Value() == 0 {
+		t.Error("fork.children = 0 — the fleet worker did not take the fork path")
+	}
+	if reg.Counter("fork.prefix_cycles_saved").Value() == 0 {
+		t.Error("fork.prefix_cycles_saved = 0 — no golden prefix was shared across a batch")
+	}
+	svc.Shutdown()
+}
+
 // TestInvariant12ArchiveHitAttackSpaces replays the invariant-12 proof
 // for the attack-style campaign types: a burst campaign under the
 // corrupt objective and a plain instruction-skip campaign, each executed
