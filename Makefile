@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race race-service race-spaces race-fork fuzz-smoke bench bench-telemetry bench-smoke
+.PHONY: check vet build test race race-service race-spaces race-fork race-observability fuzz-smoke bench bench-telemetry bench-smoke
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race race-service race-spaces race-fork fuzz-smoke bench-telemetry bench-smoke
+check: vet build test race race-service race-spaces race-fork race-observability fuzz-smoke bench-telemetry bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,19 @@ race-spaces:
 race-fork:
 	$(GO) test -race -run='TestStrategyEquivalenceAllBenchmarks|TestInterruptResumeFork' .
 	$(GO) test -race -run='TestOracleRandomCoordinatesFork' ./internal/experiments
+
+# The observability layer under the race detector: the fleet trace
+# timeline (spans merging from concurrent workers into the
+# coordinator's recorder), the straggler watchdog and windowed rate
+# estimator reading coordinator state while leases churn, the
+# /metrics exposition racing live instruments, and the service-side
+# trace/metrics/starved-tenant surface — the span recorder and
+# watchdog are the newest lock-guarded state shared across worker
+# goroutines and HTTP handlers, and -count=2 shakes out
+# ordering-dependent races, exactly like race-service.
+race-observability:
+	$(GO) test -race -count=2 -run='TestFleetTraceTimeline|TestWatchdogFlagsStragglerWorker|TestWindowedWorkerRates|TestCoordinatorMetricsExposition' ./internal/cluster
+	$(GO) test -race -count=2 -run='TestServiceTraceAndMetrics|TestStarvedTenantWatchdog' ./internal/service
 
 # A short deterministic-corpus + 10s randomized smoke of the attack
 # surfaces: the binary decoders exposed to untrusted bytes

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -84,6 +86,8 @@ func run(args []string, w, errW io.Writer) error {
 		resume   = fs.Bool("resume", false, "continue the campaign recorded in -checkpoint (skip completed classes)")
 		progress = fs.Bool("progress", false, "print live progress (classes done, exp/s, ETA) to stderr")
 		telem    = fs.String("telemetry", "", "write a JSON run manifest (identity, config, counters, timing) to this file on exit")
+		traceFl  = fs.String("trace", "", "write the campaign span timeline as Chrome trace-event JSON (Perfetto-loadable) to this file on exit")
+		metricFl = fs.String("metrics", "", "expose the telemetry registry in Prometheus text format on this address at /metrics")
 		pprofFl  = fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints on the coordinator (requires -serve)")
 		binsemN  = fs.Int("binsem-rounds", 4, "bin_sem2 ping-pong rounds")
 		syncN    = fs.Int("sync-rounds", 3, "sync2 handshake rounds")
@@ -138,6 +142,12 @@ func run(args []string, w, errW io.Writer) error {
 	if *telem != "" && (*sample > 0 || *loadFrom != "" || *join != "") {
 		return fmt.Errorf("-telemetry applies to full scans only (not -sample, -load or -join)")
 	}
+	if *traceFl != "" && (*sample > 0 || *loadFrom != "" || *join != "" || *fleetFl != "" || *submit != "") {
+		return fmt.Errorf("-trace applies to local or served full scans only (workers ship their spans to the coordinator)")
+	}
+	if *metricFl != "" && (*loadFrom != "" || *submit != "") {
+		return fmt.Errorf("-metrics requires a campaign executing in this process (not -load or -submit)")
+	}
 
 	if *join != "" {
 		if fs.NArg() != 0 {
@@ -159,6 +169,16 @@ func run(args []string, w, errW io.Writer) error {
 				fmt.Fprintf(errW, format+"\n", args...)
 			}
 			jopts.Telemetry = faultspace.NewTelemetry()
+		}
+		if *metricFl != "" {
+			if jopts.Telemetry == nil {
+				jopts.Telemetry = faultspace.NewTelemetry()
+			}
+			stop, err := serveMetrics(*metricFl, jopts.Telemetry, errW)
+			if err != nil {
+				return err
+			}
+			defer stop()
 		}
 		err := faultspace.JoinScan(*join, jopts)
 		printTelemetrySummary(errW, jopts.Telemetry)
@@ -185,6 +205,16 @@ func run(args []string, w, errW io.Writer) error {
 				fmt.Fprintf(errW, format+"\n", args...)
 			}
 			fopts.Telemetry = faultspace.NewTelemetry()
+		}
+		if *metricFl != "" {
+			if fopts.Telemetry == nil {
+				fopts.Telemetry = faultspace.NewTelemetry()
+			}
+			stop, err := serveMetrics(*metricFl, fopts.Telemetry, errW)
+			if err != nil {
+				return err
+			}
+			defer stop()
 		}
 		err := faultspace.JoinServiceFleet(*fleetFl, fopts)
 		printTelemetrySummary(errW, fopts.Telemetry)
@@ -255,10 +285,24 @@ func run(args []string, w, errW io.Writer) error {
 	// attaching it unconditionally here would be harmless — but keeping
 	// it nil unless asked for preserves the zero-overhead default.
 	var reg *faultspace.Telemetry
-	if *telem != "" || *progress {
+	if *telem != "" || *progress || *traceFl != "" || *metricFl != "" {
 		reg = faultspace.NewTelemetry()
 		reg.EnableTrace(1024)
 		opts.Telemetry = reg
+	}
+	// Span tracing attaches a recorder to the registry. Locally the scan
+	// records phase spans into it directly; under -serve the coordinator
+	// reuses the same recorder and merges every worker's spans into it,
+	// so the file written at exit is the whole fleet's timeline.
+	if *traceFl != "" {
+		reg.EnableSpans(faultspace.NewTraceID(), "local", 0)
+	}
+	if *metricFl != "" {
+		stop, err := serveMetrics(*metricFl, reg, errW)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	if *sample > 0 {
@@ -359,6 +403,16 @@ func run(args []string, w, errW io.Writer) error {
 			fmt.Fprintf(errW, "favscan: telemetry manifest: %v\n", werr)
 		} else {
 			fmt.Fprintf(errW, "favscan: run manifest written to %s\n", *telem)
+		}
+	}
+	// Like the manifest, the timeline is written on the interrupt path
+	// too: a partial trace of an aborted campaign is exactly what you
+	// load into Perfetto to see where it spent its time.
+	if *traceFl != "" {
+		if werr := writeTraceFile(*traceFl, reg); werr != nil {
+			fmt.Fprintf(errW, "favscan: trace: %v\n", werr)
+		} else {
+			fmt.Fprintf(errW, "favscan: span timeline written to %s (load in ui.perfetto.dev)\n", *traceFl)
 		}
 	}
 	if err != nil {
@@ -523,6 +577,40 @@ func clusterProgressPrinter(errW io.Writer) func(faultspace.ClusterProgress) {
 	}
 }
 
+// serveMetrics exposes the registry's snapshot in Prometheus text format
+// at /metrics on addr for the duration of the run. The returned stop
+// function closes the listener.
+func serveMetrics(addr string, reg *faultspace.Telemetry, errW io.Writer) (func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = faultspace.WritePrometheus(w, reg.Snapshot(), nil)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(errW, "favscan: serving /metrics on %s\n", ln.Addr())
+	return ln.Close, nil
+}
+
+// writeTraceFile exports the registry's span recorder as Chrome
+// trace-event JSON.
+func writeTraceFile(path string, reg *faultspace.Telemetry) error {
+	rec := reg.SpanRecorder()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := faultspace.WriteChromeTrace(f, rec.TraceID(), rec.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // printTelemetrySummary renders the registry's final instrument snapshot
 // as a table on the progress stream (stderr), keeping stdout reports
 // byte-identical with and without telemetry. A nil registry prints
@@ -548,8 +636,12 @@ func printTelemetrySummary(errW io.Writer, reg *faultspace.Telemetry) {
 		if h.Count > 0 {
 			mean = time.Duration(h.SumNs / int64(h.Count))
 		}
-		tbl.AddRow(name, fmt.Sprintf("n=%d mean=%s max=%s",
-			h.Count, mean.Round(time.Microsecond), time.Duration(h.MaxNs).Round(time.Microsecond)))
+		tbl.AddRow(name, fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+			h.Count, mean.Round(time.Microsecond),
+			time.Duration(h.P50Ns).Round(time.Microsecond),
+			time.Duration(h.P95Ns).Round(time.Microsecond),
+			time.Duration(h.P99Ns).Round(time.Microsecond),
+			time.Duration(h.MaxNs).Round(time.Microsecond)))
 	}
 	fmt.Fprintln(errW)
 	tbl.Render(errW)

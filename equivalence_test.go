@@ -97,6 +97,7 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 					label string
 					opts  ScanOptions
 					tel   bool
+					trace bool
 				}
 				var cases []tcase
 				// The full accelerator grid: every strategy with every
@@ -138,10 +139,27 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 						tel: true,
 					})
 				}
+				// Invariant 15: tracing is identification, never
+				// configuration — span-traced scans of every strategy must
+				// archive byte-identically to the untraced reference while
+				// actually recording a timeline.
+				for _, strat := range strategies {
+					cases = append(cases, tcase{
+						label: strat.name + "/pre=true/memo=true+trace",
+						opts: ScanOptions{Space: space, Strategy: strat.s,
+							Predecode: true, Memo: true},
+						trace: true,
+					})
+				}
 				for _, tc := range cases {
 					var reg *Telemetry
 					if tc.tel {
 						reg = NewTelemetry()
+						tc.opts.Telemetry = reg
+					}
+					if tc.trace {
+						reg = NewTelemetry()
+						reg.EnableSpans(NewTraceID(), "local", 0)
 						tc.opts.Telemetry = reg
 					}
 					label := fmt.Sprintf("%s %s vs rerun", space, tc.label)
@@ -160,6 +178,18 @@ func TestStrategyEquivalenceAllBenchmarks(t *testing.T) {
 						snap := reg.Snapshot()
 						if exp := snap.Counters["scan.experiments"]; exp != uint64(len(got.Space.Classes)) {
 							t.Errorf("%s: scan.experiments = %d, want %d", label, exp, len(got.Space.Classes))
+						}
+					}
+					if tc.trace {
+						spans := reg.SpanRecorder().Spans()
+						haveRun := false
+						for _, sp := range spans {
+							if sp.Name == "scan.run" {
+								haveRun = true
+							}
+						}
+						if !haveRun {
+							t.Errorf("%s: traced scan recorded no scan.run span (%d spans)", label, len(spans))
 						}
 					}
 				}

@@ -36,6 +36,7 @@ package faultspace
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"faultspace/internal/asm"
@@ -130,6 +131,44 @@ type Telemetry = telemetry.Registry
 
 // NewTelemetry creates an empty telemetry registry.
 func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TraceID is a 128-bit campaign trace identifier: minted at submission,
+// propagated through the cluster wire protocol, stamped on every
+// exported timeline. The zero TraceID means "tracing off". Trace IDs
+// are identification, not configuration — they are excluded from the
+// campaign identity hash (DESIGN.md invariant 15).
+type TraceID = telemetry.TraceID
+
+// NewTraceID mints a random trace ID.
+func NewTraceID() TraceID { return telemetry.NewTraceID() }
+
+// Span is one completed timed operation in a campaign timeline.
+type Span = telemetry.Span
+
+// SpanRecorder is a bounded, concurrency-safe store of completed spans.
+// Attach one to a Telemetry registry via Telemetry.EnableSpans to trace
+// a scan; a nil recorder disables span tracing at zero cost.
+type SpanRecorder = telemetry.SpanRecorder
+
+// WriteChromeTrace writes a span timeline as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, trace TraceID, spans []Span) error {
+	return telemetry.WriteChromeTrace(w, trace, spans)
+}
+
+// WriteSpansJSONL writes spans as one JSON object per line — the
+// streaming-friendly sibling of WriteChromeTrace.
+func WriteSpansJSONL(w io.Writer, trace TraceID, spans []Span) error {
+	return telemetry.WriteSpansJSONL(w, trace, spans)
+}
+
+// WritePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4), with the given constant labels on
+// every series (nil for none). The coordinator, service and favscan
+// -metrics listener all serve this under /metrics.
+func WritePrometheus(w io.Writer, snap telemetry.Snapshot, labels map[string]string) error {
+	return telemetry.WritePrometheus(w, snap, labels)
+}
 
 // RunManifest is the machine-readable record of one campaign run:
 // campaign identity and configuration, wall/CPU timing, the final
@@ -234,6 +273,10 @@ func (o ScanOptions) campaignConfig() (campaign.Config, error) {
 		ProgressInterval: o.ProgressInterval,
 		Interrupt:        o.Interrupt,
 		Telemetry:        o.Telemetry,
+		// Span tracing rides the registry: EnableSpans attaches a recorder,
+		// a bare registry (or none) leaves cfg.Spans nil and the scan pays
+		// nothing. Nil-safe through the whole chain.
+		Spans: o.Telemetry.SpanRecorder(),
 	}
 	if cfg.Strategy == 0 && o.Rerun {
 		cfg.Strategy = campaign.StrategyRerun

@@ -99,6 +99,7 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		return res, nil
 	}
 	st := newScanTel(cfg)
+	sp := cfg.Spans.Start("scan.run")
 	var scanErr error
 	switch cfg.Strategy {
 	case StrategySnapshot:
@@ -109,6 +110,9 @@ func ResumeScan(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 		scanErr = scanLadder(t, golden, fs, cfg, todo, res.Outcomes, m, st)
 	case StrategyFork:
 		scanErr = scanFork(t, golden, fs, cfg, todo, res.Outcomes, m, st)
+	}
+	if sp.Live() {
+		sp.End(fmt.Sprintf("%s: %d classes", cfg.Strategy, len(todo)))
 	}
 	if cfg.MemoCache != nil {
 		cfg.Telemetry.Gauge("memo.entries").Set(int64(cfg.MemoCache.Len()))
@@ -301,7 +305,11 @@ func scanSnapshot(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Co
 		}
 		return nil
 	}
+	spFeed := st.spans.Start("scan.golden_prefix")
 	ferr := feed()
+	if spFeed.Live() {
+		spFeed.End(fmt.Sprintf("pioneer feed: %d classes", len(todo)))
+	}
 	close(groups)
 	wg.Wait()
 	close(results)
@@ -421,6 +429,7 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 	}
 	machines = append(machines, pioneer)
 	interval := cfg.ladderInterval(golden.Cycles)
+	spL := st.spans.Start("scan.golden_prefix")
 	ladder := machine.NewLadder(pioneer)
 	for next := interval; next < golden.Cycles; next += interval {
 		if status := pioneer.Run(next); status != machine.StatusRunning {
@@ -428,6 +437,9 @@ func scanLadder(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Conf
 				pioneer.Cycles(), status)
 		}
 		ladder.Capture(pioneer)
+	}
+	if spL.Live() {
+		spL.End(fmt.Sprintf("ladder: %d rungs", ladder.Rungs()))
 	}
 	cfg.Telemetry.Gauge("ladder.rungs").Set(int64(ladder.Rungs()))
 
@@ -584,6 +596,7 @@ func scanFork(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config
 	}
 	machines = append(machines, pioneer)
 	interval := cfg.forkInterval(golden.Cycles)
+	spL := st.spans.Start("scan.golden_prefix")
 	ladder := machine.NewLadder(pioneer)
 	for next := interval; next < golden.Cycles; next += interval {
 		if status := pioneer.Run(next); status != machine.StatusRunning {
@@ -591,6 +604,9 @@ func scanFork(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config
 				pioneer.Cycles(), status)
 		}
 		ladder.Capture(pioneer)
+	}
+	if spL.Live() {
+		spL.End(fmt.Sprintf("ladder: %d rungs", ladder.Rungs()))
 	}
 	cfg.Telemetry.Gauge("ladder.rungs").Set(int64(ladder.Rungs()))
 
@@ -638,6 +654,7 @@ func scanFork(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config
 				if stop.Load() {
 					continue
 				}
+				spB := st.spans.Start("scan.batch")
 				// Reposition the cursor once per batch. The forker owns the
 				// parent's dirty bits (it resets them at every Fork), so the
 				// cursor must full-copy and the forker resync afterwards.
@@ -706,6 +723,9 @@ func scanFork(t Target, golden *trace.Golden, fs *pruning.FaultSpace, cfg Config
 				if st != nil {
 					st.forkChildren.Add(children)
 					st.forkSaved.Add(saved)
+				}
+				if spB.Live() {
+					spB.End(fmt.Sprintf("rung %d: %d classes", b.rung, len(b.classes)))
 				}
 			}
 		}()

@@ -100,6 +100,13 @@ type Config struct {
 	// campaign identity hash (invariant 10). nil disables all
 	// instrumentation at zero cost.
 	Telemetry *telemetry.Registry
+	// Spans, when non-nil, receives phase spans of the scan (strategy
+	// run, golden-prefix builds, fork batches) for the campaign timeline.
+	// Spans are recorded at phase granularity — never per experiment —
+	// and, like Telemetry, are purely observational: outcome-invariant
+	// and excluded from the campaign identity hash (invariant 15). nil
+	// disables span recording at zero cost (no clock reads, no allocs).
+	Spans *telemetry.SpanRecorder
 	// Predecode enables the machine's pre-decoded dispatch stream: the
 	// program is lowered once per machine into a dense instruction stream
 	// executed by a tight chunked loop (see machine.SetPredecode). The

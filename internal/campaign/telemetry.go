@@ -14,7 +14,13 @@ import (
 // no-ops without reading the clock — the zero-overhead fast path
 // invariant 10 builds on.
 type scanTel struct {
-	live        bool
+	live bool
+	// spans is the campaign timeline recorder (nil = span tracing off).
+	// Deliberately independent of the instrument registry: a cluster
+	// worker can trace spans without keeping a metrics registry, and vice
+	// versa. Spans are phase-granular (strategy run, golden prefix, fork
+	// batches), never per experiment, so the hot path stays untouched.
+	spans       *telemetry.SpanRecorder
 	experiments *telemetry.Counter
 	outcomes    [NumOutcomes]*telemetry.Histogram
 	// attacks counts attack-flagged outcomes (nil without an objective).
@@ -60,7 +66,7 @@ type scanTel struct {
 // newScanTel resolves the scan instruments from the config's registry.
 // Call after withDefaults so cfg.Strategy is concrete.
 func newScanTel(cfg Config) *scanTel {
-	st := &scanTel{}
+	st := &scanTel{spans: cfg.Spans}
 	r := cfg.Telemetry
 	if r == nil {
 		return st

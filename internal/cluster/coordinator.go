@@ -49,6 +49,24 @@ type Options struct {
 	// endpoint on Handler(). Purely observational: it never changes what
 	// the coordinator computes.
 	Telemetry *telemetry.Registry
+	// TraceID overrides the campaign trace ID minted by NewSpec — the
+	// service passes a submitted campaign's ID through so the fleet's
+	// spans correlate with the submission. Zero keeps the minted one.
+	// The trace ID is observability identity only and never feeds the
+	// campaign identity hash (invariant 15).
+	TraceID telemetry.TraceID
+	// SpanCapacity bounds the merged campaign timeline: the
+	// coordinator's own spans plus every span workers ship back with
+	// submissions (default DefaultTimelineCapacity). Beyond capacity the
+	// newest spans are dropped and the loss is self-described via the
+	// recorder's drop counter in /debug/telemetry.
+	SpanCapacity int
+	// RateWindow is the averaging window for the per-worker
+	// experiments-per-second rates in /v1/status (default
+	// DefaultRateWindow). Rates cover the last full window, so an idle
+	// worker's rate decays to zero instead of being diluted over its
+	// whole session.
+	RateWindow time.Duration
 	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
 	// Handler() — opt-in, for live profiling of a long cluster scan.
 	Pprof bool
@@ -58,6 +76,12 @@ type Options struct {
 const (
 	DefaultUnitSize = 256
 	DefaultLeaseTTL = 10 * time.Second
+	// DefaultRateWindow is the /v1/status per-worker rate window.
+	DefaultRateWindow = 5 * time.Second
+	// DefaultTimelineCapacity is the default span budget for the merged
+	// campaign timeline — four times a single recorder's default, since
+	// the coordinator aggregates a whole fleet.
+	DefaultTimelineCapacity = 4 * telemetry.DefaultSpanCapacity
 )
 
 func (o Options) withDefaults() Options {
@@ -69,6 +93,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProgressInterval == 0 {
 		o.ProgressInterval = time.Second
+	}
+	if o.RateWindow == 0 {
+		o.RateWindow = DefaultRateWindow
+	}
+	if o.SpanCapacity == 0 {
+		o.SpanCapacity = DefaultTimelineCapacity
 	}
 	return o
 }
@@ -82,8 +112,11 @@ type WorkerStat struct {
 	Experiments int `json:"experiments"`
 	// Merged counts the outcomes this worker contributed first.
 	Merged int `json:"merged"`
-	// Rate is Experiments per second since the worker joined — the
-	// worker's session rate.
+	// Rate is the worker's experiments-per-second over the last full
+	// Options.RateWindow (the partial current window before the first
+	// window completes), so it tracks what the worker is doing now — an
+	// idle worker's rate decays to zero within a window instead of being
+	// diluted over its whole session.
 	Rate float64 `json:"expPerSec"`
 	// Outstanding is the number of units the worker currently holds.
 	Outstanding int `json:"outstanding"`
@@ -100,6 +133,9 @@ type Progress struct {
 	Reassignments int
 	// Workers holds per-worker statistics, sorted by ID.
 	Workers []WorkerStat
+	// Stragglers holds the watchdog's current verdicts (watchdog.go),
+	// sorted by worker ID then kind.
+	Stragglers []Straggler
 }
 
 type unitState uint8
@@ -117,6 +153,9 @@ type unit struct {
 	token    uint64
 	owner    string
 	deadline time.Time
+	// grantedAt is when the current lease was granted; it anchors the
+	// unit.lease span and the watchdog's lease-age check.
+	grantedAt time.Time
 }
 
 type workerInfo struct {
@@ -129,6 +168,15 @@ type workerInfo struct {
 	// lastHeartbeat feeds the cluster.heartbeat_gap histogram: the time
 	// between a worker's consecutive heartbeats. Zero until the first one.
 	lastHeartbeat time.Time
+	// lastSeen is the last contact of any kind (lease, submit, heartbeat,
+	// leave) — the watchdog's silent-heartbeat anchor.
+	lastSeen time.Time
+	// Windowed-rate state: experiments counted up to winStart, and the
+	// rate of the last completed window (valid once hasRate is set).
+	winStart time.Time
+	winExp   int
+	rate     float64
+	hasRate  bool
 }
 
 // Coordinator shards a campaign into leased work units and merges the
@@ -162,6 +210,23 @@ type Coordinator struct {
 	sealed      bool
 	finished    chan struct{}
 
+	// Fleet timeline: the campaign trace ID from the spec and the merged
+	// span recorder (the coordinator's own spans plus the spans workers
+	// ship back with submissions), served at /v1/trace. rampedUp latches
+	// the one-shot campaign.rampup span covering campaign start to the
+	// first lease grant — the time-to-first-work a fleet operator cares
+	// about, and otherwise a dark region at the head of every timeline.
+	traceID  telemetry.TraceID
+	spans    *telemetry.SpanRecorder
+	rampedUp bool
+
+	// Watchdog state (watchdog.go): a ring window of completed lease
+	// durations and the already-flagged verdict keys (one trace event per
+	// distinct condition).
+	leaseDurs    []time.Duration
+	leaseDurNext int
+	flagged      map[string]bool
+
 	// Telemetry instruments, resolved once in NewCoordinator; all nil
 	// (no-op) when Options.Telemetry is nil.
 	telGranted    *telemetry.Counter
@@ -171,6 +236,8 @@ type Coordinator struct {
 	telHeartbeats *telemetry.Counter
 	telWorkers    *telemetry.Gauge
 	telGap        *telemetry.Histogram
+	telLeaseDur   *telemetry.Histogram
+	telStragglers *telemetry.Gauge
 }
 
 // NewCoordinator builds a coordinator for the campaign. prior holds
@@ -197,6 +264,7 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 		outcomes: make([]campaign.Outcome, len(fs.Classes)),
 		have:     make([]bool, len(fs.Classes)),
 		workers:  make(map[string]*workerInfo),
+		flagged:  make(map[string]bool),
 		start:    time.Now(),
 		finished: make(chan struct{}),
 	}
@@ -208,11 +276,28 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 	c.telHeartbeats = reg.Counter("cluster.heartbeats")
 	c.telWorkers = reg.Gauge("cluster.active_workers")
 	c.telGap = reg.Histogram("cluster.heartbeat_gap")
+	c.telLeaseDur = reg.Histogram("cluster.lease_duration")
+	c.telStragglers = reg.Gauge("fleet.stragglers")
 	spec, err := NewSpec(t, fs.Kind, cfg, opts.MaxGoldenCycles, uint64(len(fs.Classes)))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	spec.LeaseTTL = opts.LeaseTTL
+	// Wire the fleet timeline. A registry with span tracing enabled (the
+	// favscan -trace serve path) contributes its recorder so local and
+	// fleet spans merge into one timeline under the registry's trace ID;
+	// otherwise the coordinator records into its own recorder under the
+	// spec's ID (Options.TraceID when a service passed one through).
+	if rec := reg.SpanRecorder(); rec != nil {
+		c.spans = rec
+		spec.TraceID = rec.TraceID()
+	} else {
+		if !opts.TraceID.IsZero() {
+			spec.TraceID = opts.TraceID
+		}
+		c.spans = telemetry.NewSpanRecorder(spec.TraceID, "coordinator", opts.SpanCapacity)
+	}
+	c.traceID = spec.TraceID
 	c.spec = EncodeSpec(spec)
 
 	for ci, o := range prior {
@@ -260,7 +345,7 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 		c.pending = append(c.pending, c.units[i])
 	}
 	if c.remaining == 0 {
-		close(c.finished)
+		c.finishLocked()
 	}
 	c.mu.Lock()
 	c.emitLocked(false)
@@ -270,6 +355,34 @@ func NewCoordinator(t campaign.Target, golden *trace.Golden, fs *pruning.FaultSp
 
 // Identity returns the campaign identity hash the coordinator admits.
 func (c *Coordinator) Identity() [32]byte { return c.identity }
+
+// TraceID returns the campaign's trace ID (shipped to workers in the
+// handshake spec).
+func (c *Coordinator) TraceID() telemetry.TraceID { return c.traceID }
+
+// Timeline returns the merged fleet span timeline so far (sorted by
+// start time) and how many spans were dropped at capacity.
+func (c *Coordinator) Timeline() ([]telemetry.Span, uint64) {
+	return c.spans.Spans(), c.spans.Dropped()
+}
+
+// finishLocked closes the finished channel exactly once, recording the
+// campaign root span the first time. (Safe without the lock in
+// NewCoordinator, before the coordinator is shared.)
+func (c *Coordinator) finishLocked() {
+	select {
+	case <-c.finished:
+	default:
+		c.spans.Add(telemetry.Span{
+			Scope:  "coordinator",
+			Name:   "campaign",
+			Detail: c.target.Name + " " + c.space.Kind.String(),
+			Start:  c.start,
+			Dur:    time.Since(c.start),
+		})
+		close(c.finished)
+	}
+}
 
 // Handler returns the coordinator's HTTP handler. With
 // Options.Telemetry set it additionally serves /debug/telemetry (the
@@ -285,6 +398,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("/v1/leave", c.handleLeave)
 	mux.HandleFunc("/v1/status", c.handleStatus)
+	mux.HandleFunc("/v1/trace", c.handleTrace)
+	mux.HandleFunc("/metrics", c.handleMetrics)
 	if c.opts.Telemetry != nil {
 		mux.HandleFunc("/debug/telemetry", c.handleTelemetry)
 	}
@@ -446,10 +561,21 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			u.state = unitLeased
 			u.token = c.nextToken
 			u.owner = q.WorkerID
-			u.deadline = time.Now().Add(c.opts.LeaseTTL)
+			u.grantedAt = time.Now()
+			u.deadline = u.grantedAt.Add(c.opts.LeaseTTL)
 			c.leased++
 			c.workers[q.WorkerID].outstanding++
 			resp = WorkUnit{Status: UnitGranted, ID: u.id, Token: u.token, Classes: u.classes}
+			if !c.rampedUp {
+				c.rampedUp = true
+				c.spans.Add(telemetry.Span{
+					Scope:  "coordinator",
+					Name:   "campaign.rampup",
+					Detail: "campaign start to first lease grant",
+					Start:  c.start,
+					Dur:    u.grantedAt.Sub(c.start),
+				})
+			}
 			c.telGranted.Inc()
 			c.opts.Telemetry.Tracef("lease.granted", "unit %d (%d classes) to %s", u.id, len(u.classes), q.WorkerID)
 		}
@@ -522,6 +648,13 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	wi := c.touchLocked(s.WorkerID)
 	wi.experiments += len(s.Entries)
 	c.telSubmits.Inc()
+	// Merge the worker's spans into the fleet timeline. The scope is
+	// stamped from the authenticated-by-admission worker ID, never taken
+	// from the wire, so a worker cannot attribute spans to another.
+	for _, sp := range s.Spans {
+		sp.Scope = s.WorkerID
+		c.spans.Add(sp)
+	}
 	// Idempotent merge: outcomes are deterministic, so the first record
 	// for a class is as good as any duplicate — including submissions
 	// under a stale lease token after a reassignment.
@@ -550,6 +683,21 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if owner := c.workers[u.owner]; owner != nil && owner.outstanding > 0 {
 				owner.outstanding--
 			}
+			// Close out the lease: grant → full merge is the coordinator's
+			// view of the unit's life, feeding both the timeline and the
+			// watchdog's outlier baseline.
+			if !u.grantedAt.IsZero() {
+				d := time.Since(u.grantedAt)
+				c.spans.Add(telemetry.Span{
+					Scope:  "coordinator",
+					Name:   "unit.lease",
+					Detail: fmt.Sprintf("unit %d (%d classes) by %s", u.id, len(u.classes), u.owner),
+					Start:  u.grantedAt,
+					Dur:    d,
+				})
+				c.recordLeaseDurationLocked(d)
+				c.telLeaseDur.Observe(d)
+			}
 		} else {
 			// The unit's lease had already expired and it went back to the
 			// pending pool; drop it from there so nobody re-runs it.
@@ -568,11 +716,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		c.emitLocked(false)
 	}
 	if c.remaining == 0 {
-		select {
-		case <-c.finished:
-		default:
-			close(c.finished)
-		}
+		c.finishLocked()
 	}
 	w.WriteHeader(http.StatusOK)
 }
@@ -659,13 +803,16 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Failures uint64 `json:"failures"`
 		// Attacks counts classes whose outcome satisfied the campaign's
 		// attacker objective (0 without one).
-		Attacks uint64  `json:"attacks"`
-		Rate    float64 `json:"expPerSec"`
+		Attacks       uint64  `json:"attacks"`
+		Rate          float64 `json:"expPerSec"`
 		Leases        int     `json:"outstandingLeases"`
 		Reassignments int     `json:"reassignments"`
 		// Workers carries each worker's session statistics, including its
-		// experiments-per-second session rate.
+		// windowed experiments-per-second rate.
 		Workers []WorkerStat `json:"workers"`
+		// Stragglers holds the watchdog's current verdicts (empty when the
+		// fleet looks healthy).
+		Stragglers []Straggler `json:"stragglers,omitempty"`
 		// Telemetry is the coordinator's live instrument snapshot; absent
 		// when the coordinator runs without a registry.
 		Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
@@ -675,6 +822,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Attacks: p.Attacks,
 		Rate:    p.Rate, Leases: p.OutstandingLeases,
 		Reassignments: p.Reassignments, Workers: p.Workers,
+		Stragglers: p.Stragglers,
 	}
 	if c.opts.Telemetry != nil {
 		snap := c.opts.Telemetry.Snapshot()
@@ -693,16 +841,81 @@ func (c *Coordinator) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 	reg := c.opts.Telemetry
 	resp := struct {
-		Telemetry     telemetry.Snapshot `json:"telemetry"`
-		Events        []telemetry.Event  `json:"events,omitempty"`
-		EventsDropped uint64             `json:"events_dropped,omitempty"`
+		Telemetry      telemetry.Snapshot `json:"telemetry"`
+		Events         []telemetry.Event  `json:"events,omitempty"`
+		EventsDropped  uint64             `json:"events_dropped,omitempty"`
+		EventsCapacity int                `json:"events_capacity,omitempty"`
+		TraceID        string             `json:"trace_id,omitempty"`
+		Spans          int                `json:"spans,omitempty"`
+		SpansDropped   uint64             `json:"spans_dropped,omitempty"`
+		SpansCapacity  int                `json:"spans_capacity,omitempty"`
 	}{Telemetry: reg.Snapshot()}
 	if tr := reg.Tracer(); tr != nil {
 		resp.Events = tr.Events()
 		resp.EventsDropped = tr.Dropped()
+		resp.EventsCapacity = tr.Cap()
+	}
+	if !c.traceID.IsZero() {
+		resp.TraceID = c.traceID.String()
+		resp.Spans = len(c.spans.Spans())
+		resp.SpansDropped = c.spans.Dropped()
+		resp.SpansCapacity = c.spans.Cap()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleTrace serves the merged fleet span timeline: Chrome trace-event
+// JSON by default (loadable in Perfetto / chrome://tracing), one JSON
+// object per span with ?format=jsonl.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if c.traceID.IsZero() {
+		http.Error(w, "cluster: span tracing disabled for this campaign", http.StatusNotFound)
+		return
+	}
+	spans, _ := c.Timeline()
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		telemetry.WriteSpansJSONL(w, c.traceID, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	telemetry.WriteChromeTrace(w, c.traceID, spans)
+}
+
+// handleMetrics serves the Prometheus text exposition: the registry's
+// instruments (when one is configured) plus synthetic per-worker series
+// labelled by worker ID, derived from the same statistics /v1/status
+// reports.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	p := c.Snapshot()
+	sets := make([]telemetry.MetricSet, 0, 1+len(p.Workers))
+	if c.opts.Telemetry != nil {
+		sets = append(sets, telemetry.MetricSet{Snap: c.opts.Telemetry.Snapshot()})
+	}
+	for _, ws := range p.Workers {
+		snap := telemetry.Snapshot{
+			Counters: map[string]uint64{
+				"cluster.worker.experiments": uint64(ws.Experiments),
+				"cluster.worker.merged":      uint64(ws.Merged),
+			},
+			Gauges: map[string]int64{
+				"cluster.worker.outstanding": int64(ws.Outstanding),
+			},
+		}
+		sets = append(sets, telemetry.MetricSet{
+			Labels: map[string]string{"worker": ws.ID},
+			Snap:   snap,
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheusSets(w, sets)
 }
 
 // --- progress ------------------------------------------------------------
@@ -710,7 +923,8 @@ func (c *Coordinator) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) touchLocked(workerID string) *workerInfo {
 	wi := c.workers[workerID]
 	if wi == nil {
-		wi = &workerInfo{id: workerID, joined: time.Now()}
+		now := time.Now()
+		wi = &workerInfo{id: workerID, joined: now, winStart: now}
 		c.workers[workerID] = wi
 		c.telWorkers.Add(1)
 		c.opts.Telemetry.Tracef("worker.joined", "%s", workerID)
@@ -720,6 +934,7 @@ func (c *Coordinator) touchLocked(workerID string) *workerInfo {
 		c.opts.Telemetry.Tracef("worker.joined", "%s (rejoined)", workerID)
 	}
 	wi.left = false
+	wi.lastSeen = time.Now()
 	return wi
 }
 
@@ -743,6 +958,7 @@ func (c *Coordinator) progressLocked(final bool) Progress {
 			p.ETA = time.Duration(float64(rem) / p.Rate * float64(time.Second))
 		}
 	}
+	now := time.Now()
 	for _, wi := range c.workers {
 		ws := WorkerStat{
 			ID:          wi.id,
@@ -750,12 +966,28 @@ func (c *Coordinator) progressLocked(final bool) Progress {
 			Merged:      wi.merged,
 			Outstanding: wi.outstanding,
 		}
-		if d := time.Since(wi.joined); d > 0 && wi.experiments > 0 {
-			ws.Rate = float64(wi.experiments) / d.Seconds()
+		// Roll the rate window forward: each elapsed RateWindow becomes the
+		// reported rate, so the stat reflects recent throughput. Several
+		// windows may have passed since the last progress computation — the
+		// experiments since winStart then spread over all of them, and a
+		// fully idle stretch decays the rate to zero.
+		if d := now.Sub(wi.winStart); d >= c.opts.RateWindow {
+			windows := float64(d) / float64(c.opts.RateWindow)
+			wi.rate = float64(wi.experiments-wi.winExp) / (windows * c.opts.RateWindow.Seconds())
+			wi.hasRate = true
+			wi.winStart = now
+			wi.winExp = wi.experiments
+		}
+		if wi.hasRate {
+			ws.Rate = wi.rate
+		} else if d := now.Sub(wi.winStart); d > 0 && wi.experiments > wi.winExp {
+			// Before the first full window: the partial-window rate.
+			ws.Rate = float64(wi.experiments-wi.winExp) / d.Seconds()
 		}
 		p.Workers = append(p.Workers, ws)
 	}
 	sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].ID < p.Workers[j].ID })
+	p.Stragglers = c.stragglersLocked()
 	return p
 }
 

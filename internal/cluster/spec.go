@@ -7,6 +7,7 @@ import (
 	"faultspace/internal/isa"
 	"faultspace/internal/machine"
 	"faultspace/internal/pruning"
+	"faultspace/internal/telemetry"
 	"faultspace/internal/trace"
 )
 
@@ -48,6 +49,12 @@ func NewSpec(t campaign.Target, kind pruning.SpaceKind, cfg campaign.Config, max
 		Classes:         classes,
 		LeaseTTL:        DefaultLeaseTTL,
 		Objective:       objective,
+		// A fresh trace ID per spec: every campaign's fleet spans correlate
+		// under one 128-bit ID. The ID is observability identity only —
+		// campaign identity (the hash above) never covers it (invariant 15),
+		// so re-running the same campaign archives byte-identical reports
+		// under a different trace.
+		TraceID: telemetry.NewTraceID(),
 	}, nil
 }
 

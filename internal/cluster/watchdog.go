@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Straggler is one watchdog verdict: a worker (or the unit it holds)
+// that the coordinator flags as anomalously slow or silent. Verdicts
+// are advisory — the lease machinery still reclaims and reassigns on
+// its own schedule — but they surface in /v1/status, as trace events
+// and in the fleet.stragglers gauge, so an operator (or an autoscaler)
+// sees a stalling fleet member before its leases start expiring.
+type Straggler struct {
+	WorkerID string `json:"workerId"`
+	// Kind is "lease_outlier" (the unit has been held far longer than
+	// the fleet's typical lease duration) or "silent_heartbeat" (the
+	// worker holds units but has not been heard from in two heartbeat
+	// intervals).
+	Kind   string `json:"kind"`
+	UnitID uint64 `json:"unitId,omitempty"`
+	// AgeMs is how long the condition has persisted; ThresholdMs the
+	// bound it exceeded.
+	AgeMs       float64 `json:"ageMs"`
+	ThresholdMs float64 `json:"thresholdMs"`
+}
+
+// Watchdog thresholds (DESIGN.md §4d).
+const (
+	// watchdogMinSamples is how many completed leases the outlier
+	// detector needs before it trusts its statistics.
+	watchdogMinSamples = 5
+	// watchdogLeaseWindow bounds the completed-lease-duration window the
+	// MAD statistics are computed over (a ring: old campaigns phases age
+	// out, so the baseline tracks the current workload).
+	watchdogLeaseWindow = 512
+	// watchdogMADFactor scales the normalized MAD (1.4826·MAD estimates
+	// one standard deviation for normal data) into the outlier slack.
+	watchdogMADFactor = 4.0
+	// watchdogFloor is the minimum outlier slack, so microsecond-scale
+	// lease baselines don't flag ordinary scheduling jitter.
+	watchdogFloor = 10 * time.Millisecond
+)
+
+// recordLeaseDurationLocked feeds one completed lease (grant → full
+// merge) into the watchdog's ring window.
+func (c *Coordinator) recordLeaseDurationLocked(d time.Duration) {
+	if len(c.leaseDurs) < watchdogLeaseWindow {
+		c.leaseDurs = append(c.leaseDurs, d)
+	} else {
+		c.leaseDurs[c.leaseDurNext%watchdogLeaseWindow] = d
+	}
+	c.leaseDurNext++
+}
+
+// leaseThresholdLocked derives the lease-duration outlier bound:
+// median + max(4·1.4826·MAD, median, 10ms) over the completed-lease
+// window. The median/MAD pair is robust — a few genuinely slow units in
+// the window shift the bound far less than a mean/stddev pair would.
+// Returns ok=false until watchdogMinSamples leases completed.
+func (c *Coordinator) leaseThresholdLocked() (time.Duration, bool) {
+	n := len(c.leaseDurs)
+	if n < watchdogMinSamples {
+		return 0, false
+	}
+	durs := append([]time.Duration(nil), c.leaseDurs...)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	med := durs[n/2]
+	devs := durs // reuse: overwrite in place with |x-med|
+	for i, d := range durs {
+		if d >= med {
+			devs[i] = d - med
+		} else {
+			devs[i] = med - d
+		}
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	mad := devs[n/2]
+	slack := time.Duration(watchdogMADFactor * 1.4826 * float64(mad))
+	if slack < med {
+		slack = med
+	}
+	if slack < watchdogFloor {
+		slack = watchdogFloor
+	}
+	return med + slack, true
+}
+
+// stragglersLocked computes the current watchdog verdicts, emits a
+// trace event for each newly flagged condition, and keeps the
+// fleet.stragglers gauge current.
+func (c *Coordinator) stragglersLocked() []Straggler {
+	now := time.Now()
+	var out []Straggler
+	flag := func(s Straggler) {
+		out = append(out, s)
+		key := fmt.Sprintf("%s/%s/%d", s.WorkerID, s.Kind, s.UnitID)
+		if !c.flagged[key] {
+			c.flagged[key] = true
+			c.opts.Telemetry.Tracef("watchdog.straggler", "%s %s unit %d: %.0fms > %.0fms",
+				s.Kind, s.WorkerID, s.UnitID, s.AgeMs, s.ThresholdMs)
+		}
+	}
+
+	if threshold, ok := c.leaseThresholdLocked(); ok {
+		for _, u := range c.units {
+			if u.state != unitLeased || u.grantedAt.IsZero() {
+				continue
+			}
+			if age := now.Sub(u.grantedAt); age > threshold {
+				flag(Straggler{
+					WorkerID: u.owner, Kind: "lease_outlier", UnitID: u.id,
+					AgeMs:       float64(age) / float64(time.Millisecond),
+					ThresholdMs: float64(threshold) / float64(time.Millisecond),
+				})
+			}
+		}
+	}
+
+	// Workers heartbeat every LeaseTTL/3 (worker.go); a holder silent
+	// for two intervals is stalling even though its lease has not
+	// expired yet.
+	silentAfter := 2 * c.opts.LeaseTTL / 3
+	for _, wi := range c.workers {
+		if wi.left || wi.outstanding == 0 || wi.lastSeen.IsZero() {
+			continue
+		}
+		if age := now.Sub(wi.lastSeen); age > silentAfter {
+			flag(Straggler{
+				WorkerID: wi.id, Kind: "silent_heartbeat",
+				AgeMs:       float64(age) / float64(time.Millisecond),
+				ThresholdMs: float64(silentAfter) / float64(time.Millisecond),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WorkerID != out[j].WorkerID {
+			return out[i].WorkerID < out[j].WorkerID
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	c.telStragglers.Set(int64(len(out)))
+	return out
+}
+
+// Stragglers returns the current watchdog verdicts (also served in
+// /v1/status).
+func (c *Coordinator) Stragglers() []Straggler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stragglersLocked()
+}

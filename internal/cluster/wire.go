@@ -40,13 +40,17 @@ import (
 	"time"
 
 	"faultspace/internal/checkpoint"
+	"faultspace/internal/telemetry"
 )
 
 // ProtoVersion is the wire-protocol version spoken by this package.
 // Version 2 appended the attacker-objective name to the handshake spec;
 // version-1 peers reject it in JoinCampaign, so a mixed fleet can never
 // silently record objective-less outcomes for an objective campaign.
-const ProtoVersion = 2
+// Version 3 appended the campaign trace ID to the spec and a span list
+// to submissions (fleet-wide distributed tracing); as before, the whole
+// fleet upgrades together — older peers are rejected at admission.
+const ProtoVersion = 3
 
 // Frame kinds of the cluster wire protocol.
 const (
@@ -60,6 +64,11 @@ const (
 // maxUnitClasses bounds the class count a single work unit or submission
 // may carry — a sanity limit for the decoders, far above any real unit.
 const maxUnitClasses = 1 << 20
+
+// maxSubmitSpans bounds the span count one submission may carry — the
+// worker-side recorder holds at most DefaultSpanCapacity spans between
+// submissions, so this is generous.
+const maxSubmitSpans = 1 << 16
 
 // ErrWire marks a malformed cluster protocol message.
 var ErrWire = errors.New("cluster: malformed message")
@@ -88,6 +97,11 @@ type Spec struct {
 	// Objective is the attacker-objective name ("" = none), resolved by
 	// the worker via campaign.ObjectiveByName. Proto 2+.
 	Objective string
+	// TraceID is the campaign's 128-bit trace identifier, minted at
+	// submission time; the zero value disables span tracing fleet-wide.
+	// Identification only — excluded from the campaign identity hash
+	// (DESIGN.md invariant 15). Proto 3+.
+	TraceID telemetry.TraceID
 }
 
 // Work-unit statuses of a lease response.
@@ -130,6 +144,12 @@ type Submission struct {
 	UnitID   uint64
 	Token    uint64
 	Entries  []checkpoint.Entry
+	// Spans are the worker-side trace spans accumulated since the last
+	// submission (empty when tracing is off). They ride the result path
+	// so span shipping needs no extra endpoint; the coordinator stamps
+	// each with the submitting worker's ID as scope, so the Scope field
+	// is not encoded on the wire. Proto 3+.
+	Spans []telemetry.Span
 }
 
 // Heartbeat extends the lease deadlines of the listed units.
@@ -173,6 +193,7 @@ func EncodeSpec(s Spec) []byte {
 	p = appendU64(p, s.Classes)
 	p = appendU64(p, uint64(s.LeaseTTL))
 	p = appendString(p, s.Objective)
+	p = append(p, s.TraceID[:]...)
 	return checkpoint.AppendFrame(nil, msgSpec, p)
 }
 
@@ -214,6 +235,13 @@ func EncodeSubmission(s Submission) []byte {
 		p = binary.AppendUvarint(p, uint64(e.Class-prev))
 		p = append(p, e.Outcome)
 		prev = e.Class
+	}
+	p = binary.AppendUvarint(p, uint64(len(s.Spans)))
+	for _, sp := range s.Spans {
+		p = appendString(p, sp.Name)
+		p = appendString(p, sp.Detail)
+		p = appendU64(p, uint64(sp.Start.UnixNano()))
+		p = appendU64(p, uint64(sp.Dur.Nanoseconds()))
 	}
 	return checkpoint.AppendFrame(nil, msgSubmit, p)
 }
@@ -368,6 +396,11 @@ func DecodeSpec(data []byte) (Spec, error) {
 	s.Classes = r.u64()
 	s.LeaseTTL = time.Duration(r.u64())
 	s.Objective = r.str()
+	if s.Proto >= 3 {
+		// Proto-2 frames end at the objective; decoding them cleanly lets
+		// JoinCampaign report the version mismatch instead of "payload cut".
+		copy(s.TraceID[:], r.take(16))
+	}
 	if err := r.finish(); err != nil {
 		return Spec{}, err
 	}
@@ -465,6 +498,26 @@ func DecodeSubmission(data []byte) (Submission, error) {
 		}
 		prev += int(d)
 		s.Entries = append(s.Entries, checkpoint.Entry{Class: prev, Outcome: o})
+	}
+	ns := r.uvarint()
+	if r.err == nil && ns > maxSubmitSpans {
+		return Submission{}, fmt.Errorf("%w: submission of %d spans exceeds limit", ErrWire, ns)
+	}
+	for i := uint64(0); i < ns && r.err == nil; i++ {
+		var sp telemetry.Span
+		sp.Name = r.str()
+		sp.Detail = r.str()
+		start := r.u64()
+		dur := r.u64()
+		if r.err != nil {
+			break
+		}
+		if start > math.MaxInt64 || dur > math.MaxInt64 {
+			return Submission{}, fmt.Errorf("%w: span time out of range", ErrWire)
+		}
+		sp.Start = time.Unix(0, int64(start))
+		sp.Dur = time.Duration(dur)
+		s.Spans = append(s.Spans, sp)
 	}
 	if err := r.finish(); err != nil {
 		return Submission{}, err

@@ -7,12 +7,17 @@ import (
 	"time"
 
 	"faultspace/internal/checkpoint"
+	"faultspace/internal/telemetry"
 )
 
 func testSpec() Spec {
 	var id [32]byte
 	for i := range id {
 		id[i] = byte(i * 7)
+	}
+	var tr telemetry.TraceID
+	for i := range tr {
+		tr[i] = byte(i + 1)
 	}
 	return Spec{
 		Proto:           ProtoVersion,
@@ -31,6 +36,7 @@ func testSpec() Spec {
 		Classes:         16,
 		LeaseTTL:        10 * time.Second,
 		Objective:       "bypass",
+		TraceID:         tr,
 	}
 }
 
@@ -85,6 +91,13 @@ func TestSubmissionRoundTrip(t *testing.T) {
 		Entries: []checkpoint.Entry{
 			{Class: 0, Outcome: 2}, {Class: 3, Outcome: 0}, {Class: 4, Outcome: 7},
 		},
+		// Scope is deliberately empty: it is not encoded on the wire —
+		// the coordinator stamps the admitted worker ID instead, so a
+		// worker cannot attribute spans to another.
+		Spans: []telemetry.Span{
+			{Name: "unit.scan", Detail: "unit 7", Start: time.Unix(0, 1234567890), Dur: 5 * time.Millisecond},
+			{Name: "worker.wait", Start: time.Unix(0, 42), Dur: time.Microsecond},
+		},
 	}
 	want.Identity[0] = 0xfe
 	got, err := DecodeSubmission(EncodeSubmission(want))
@@ -93,6 +106,17 @@ func TestSubmissionRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("submission round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// A span with a scope set must come back without it: the field does
+	// not survive the wire by design.
+	scoped := want
+	scoped.Spans = []telemetry.Span{{Scope: "forged", Name: "x", Start: time.Unix(0, 1), Dur: 1}}
+	got, err = DecodeSubmission(EncodeSubmission(scoped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spans[0].Scope != "" {
+		t.Errorf("span scope %q crossed the wire, want stripped", got.Spans[0].Scope)
 	}
 }
 

@@ -155,6 +155,16 @@ type worker struct {
 	golden *trace.Golden
 	space  *pruning.FaultSpace
 	cfg    campaign.Config
+
+	// spans records this worker's slice of the campaign timeline (nil
+	// when the spec carries no trace ID, i.e. tracing off). The recorder
+	// is drained into every submission, so spans ride the existing result
+	// path to the coordinator instead of needing their own endpoint.
+	spans *telemetry.SpanRecorder
+	// waitStart anchors the current worker.wait span: set when the first
+	// UnitWait answer of an idle stretch arrives, cleared on any other
+	// answer.
+	waitStart time.Time
 }
 
 // rebuild reconstructs the campaign from the handshake spec via
@@ -162,9 +172,19 @@ type worker struct {
 // layers this worker's local execution choices (all outcome-invariant)
 // on top of the outcome-relevant config the spec pins down.
 func (w *worker) rebuild(spec Spec) error {
+	// A nonzero trace ID in the spec switches span tracing on: this
+	// worker records its slice of the campaign timeline and ships it back
+	// with each submission.
+	if !spec.TraceID.IsZero() {
+		w.spans = telemetry.NewSpanRecorder(spec.TraceID, w.opts.ID, 0)
+	}
+	sp := w.spans.Start("worker.rebuild")
 	t, g, fs, cfg, err := BuildCampaign(spec)
 	if err != nil {
 		return err
+	}
+	if sp.Live() {
+		sp.End(fmt.Sprintf("%s: golden replay + %d classes", spec.Name, len(fs.Classes)))
 	}
 	// One pool for the whole campaign: every leased unit is one
 	// RunClasses call, and without the pool each of them would
@@ -177,6 +197,7 @@ func (w *worker) rebuild(spec Spec) error {
 	cfg.Predecode = w.opts.Predecode
 	cfg.Interrupt = w.opts.Interrupt
 	cfg.Telemetry = w.opts.Telemetry
+	cfg.Spans = w.spans
 	cfg.Pool = pool
 	if w.opts.Memo {
 		// One cache per campaign, like the pool: every leased unit's
@@ -193,6 +214,10 @@ func (w *worker) loop() error {
 		if w.interrupted() {
 			return campaign.ErrInterrupted
 		}
+		// Span the lease round trip: on a fleet whose units are small, the
+		// HTTP protocol overhead is where the wall time goes, and a timeline
+		// that leaves it dark would misattribute it to the scans.
+		sp := w.spans.Start("worker.lease")
 		body, err := w.post("/v1/lease", leaseReq)
 		if err != nil {
 			return err
@@ -201,8 +226,21 @@ func (w *worker) loop() error {
 		if err != nil {
 			return fmt.Errorf("cluster: lease: %w", err)
 		}
+		if sp.Live() {
+			sp.End("")
+		}
 		if w.opts.onUnit != nil {
 			w.opts.onUnit(u)
+		}
+		if u.Status == UnitWait {
+			if w.spans != nil && w.waitStart.IsZero() {
+				w.waitStart = time.Now()
+			}
+		} else if !w.waitStart.IsZero() {
+			// The idle stretch ended — one worker.wait span covers all the
+			// consecutive UnitWait polls.
+			w.spans.Record("worker.wait", "", w.waitStart, time.Since(w.waitStart))
+			w.waitStart = time.Time{}
 		}
 		switch u.Status {
 		case UnitDone:
@@ -248,7 +286,12 @@ func (w *worker) runUnit(u WorkUnit) (map[int]campaign.Outcome, error) {
 	stop := make(chan struct{})
 	defer close(stop)
 	go w.heartbeat(u.ID, stop)
-	return campaign.RunClasses(w.target, w.golden, w.space, w.cfg, u.Classes)
+	sp := w.spans.Start("unit.scan")
+	outcomes, err := campaign.RunClasses(w.target, w.golden, w.space, w.cfg, u.Classes)
+	if err == nil && sp.Live() {
+		sp.End(fmt.Sprintf("unit %d (%d classes)", u.ID, len(u.Classes)))
+	}
+	return outcomes, err
 }
 
 // heartbeat extends the lease of a unit every LeaseTTL/3 until stopped.
@@ -274,13 +317,26 @@ func (w *worker) submit(u WorkUnit, outcomes map[int]campaign.Outcome) error {
 		entries = append(entries, checkpoint.Entry{Class: ci, Outcome: uint8(o)})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Class < entries[j].Class })
+	// The worker.submit span ends after the drain below, so it ships with
+	// the NEXT submission — each timeline batch trails the round trip that
+	// carried the previous one. The final submit span of a campaign is
+	// never shipped; the coordinator's unit.lease span covers that tail.
+	sp := w.spans.Start("worker.submit")
 	_, err := w.post("/v1/submit", EncodeSubmission(Submission{
 		Identity: w.spec.Identity,
 		WorkerID: w.opts.ID,
 		UnitID:   u.ID,
 		Token:    u.Token,
 		Entries:  entries,
+		// Drain the recorder into the submission: spans ride the result
+		// path, so the coordinator's timeline grows as work completes with
+		// no extra round trips. Nil (and zero wire bytes) when tracing is
+		// off.
+		Spans: w.spans.Drain(),
 	}))
+	if err == nil && sp.Live() {
+		sp.End(fmt.Sprintf("unit %d", u.ID))
+	}
 	return err
 }
 

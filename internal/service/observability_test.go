@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"faultspace/internal/telemetry"
+	"faultspace/internal/telemetry/promtest"
+)
+
+// getServiceJSON decodes a JSON GET response into out.
+func getServiceJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// TestServiceTraceAndMetrics runs one campaign through the service fleet
+// and checks the full observability surface: the status carries the
+// minted trace ID, /v1/campaigns/{id}/trace serves the merged timeline
+// as Chrome trace-event JSON (and JSONL), and /metrics exposes the
+// per-campaign counters under campaign and tenant labels through the
+// grammar-validating Prometheus parser.
+func TestServiceTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t, "hi", 0)
+	reg := telemetry.New()
+
+	svc, srv := startService(t, Options{Dir: dir, Telemetry: reg})
+	startFleet(t, svc, srv.URL, 1)
+	st, resp := submitSpec(t, srv.URL, spec, "alice")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	st = waitDone(t, srv.URL, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done", st.State)
+	}
+	if len(st.TraceID) != 32 {
+		t.Fatalf("status trace id %q, want 32 hex chars", st.TraceID)
+	}
+
+	// The Chrome export carries the campaign's trace ID and a root span.
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  float64
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	getServiceJSON(t, srv.URL+"/v1/campaigns/"+st.ID+"/trace", &doc)
+	if doc.OtherData["traceId"] != st.TraceID {
+		t.Errorf("trace document id %q, want %q", doc.OtherData["traceId"], st.TraceID)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"campaign", "unit.lease", "unit.scan"} {
+		if !names[want] {
+			t.Errorf("campaign timeline has no %q span (have %v)", want, names)
+		}
+	}
+
+	// The JSONL variant serves the same spans, stamped with the trace ID.
+	resp2, err := http.Get(srv.URL + "/v1/campaigns/" + st.ID + "/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(resp2.Body)
+	for sc.Scan() {
+		var line struct {
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("jsonl line %d: %v", lines+1, err)
+		}
+		if line.Trace != st.TraceID || line.Name == "" {
+			t.Fatalf("jsonl line %d malformed: %+v", lines+1, line)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Error("jsonl trace stream is empty")
+	}
+
+	// /metrics: service-level and per-campaign series, all grammatical.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if got := mresp.Header.Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type %q", got)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdoc, err := promtest.Validate(body)
+	if err != nil {
+		t.Fatalf("/metrics does not parse as Prometheus text format: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range mdoc.Samples {
+		if s.Name == "faultspace_scan_experiments_total" &&
+			s.Labels["campaign"] == st.ID[:12] && s.Labels["tenant"] == "alice" {
+			found = true
+			if s.Value != float64(spec.Classes) {
+				t.Errorf("campaign experiments series = %g, want %d", s.Value, spec.Classes)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no faultspace_scan_experiments_total{campaign=%q,tenant=\"alice\"} series in /metrics", st.ID[:12])
+	}
+	svc.Shutdown()
+
+	// An archive hit executed nothing, so it has no timeline: 404.
+	svc2, srv2 := startService(t, Options{Dir: dir})
+	st2, resp3 := submitSpec(t, srv2.URL, spec, "bob")
+	if resp3.StatusCode != http.StatusOK || !st2.Cached {
+		t.Fatalf("resubmit: HTTP %d cached %v, want archive hit", resp3.StatusCode, st2.Cached)
+	}
+	tr, err := http.Get(srv2.URL + "/v1/campaigns/" + st2.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of a cached campaign: HTTP %d, want 404", tr.StatusCode)
+	}
+	svc2.Shutdown()
+}
+
+// TestStarvedTenantWatchdog pins the service-side watchdog: with no
+// fleet attached and one active slot taken, a queued campaign past
+// StarveAfter marks its tenant starved in /v1/status, raises the
+// fleet.starved_tenants gauge, and emits exactly one deduplicated
+// trace event no matter how often status is polled.
+func TestStarvedTenantWatchdog(t *testing.T) {
+	reg := telemetry.New()
+	reg.EnableTrace(64)
+	_, srv := startService(t, Options{
+		MaxActive:   1,
+		StarveAfter: 20 * time.Millisecond,
+		Telemetry:   reg,
+	})
+	// No fleet: the first campaign occupies the active slot forever, the
+	// second queues behind it.
+	_, resp1 := submitSpec(t, srv.URL, testSpec(t, "hi", 2), "alice")
+	stB, resp2 := submitSpec(t, srv.URL, testSpec(t, "hi", 3), "bob")
+	if resp1.StatusCode != http.StatusAccepted || resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submits: HTTP %d, %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	time.Sleep(40 * time.Millisecond)
+
+	var status struct {
+		Starved []StarvedTenant `json:"starvedTenants"`
+	}
+	getServiceJSON(t, srv.URL+"/v1/status", &status)
+	var verdict *StarvedTenant
+	for i := range status.Starved {
+		if status.Starved[i].Tenant == "bob" {
+			verdict = &status.Starved[i]
+		}
+	}
+	if verdict == nil {
+		t.Fatalf("tenant bob not flagged; starved = %+v", status.Starved)
+	}
+	if verdict.CampaignID != stB.ID {
+		t.Errorf("verdict names campaign %s, want %s", verdict.CampaignID, stB.ID)
+	}
+	if verdict.WaitingMs < 20 {
+		t.Errorf("verdict wait %.1fms, want >= the 20ms threshold", verdict.WaitingMs)
+	}
+	if got := reg.Snapshot().Gauges["fleet.starved_tenants"]; got != 1 {
+		t.Errorf("fleet.starved_tenants gauge = %d, want 1", got)
+	}
+
+	// Polling again re-reports the verdict but records no second event.
+	getServiceJSON(t, srv.URL+"/v1/status", &status)
+	events := 0
+	for _, e := range reg.Tracer().Events() {
+		if e.Name == "watchdog.starved_tenant" {
+			events++
+		}
+	}
+	if events != 1 {
+		t.Errorf("watchdog.starved_tenant trace events = %d, want exactly 1", events)
+	}
+
+	// Cancelling the queued campaign clears the verdict and the gauge.
+	cresp, err := http.Post(srv.URL+"/v1/campaigns/"+stB.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	status.Starved = nil
+	getServiceJSON(t, srv.URL+"/v1/status", &status)
+	if len(status.Starved) != 0 {
+		t.Errorf("starved tenants after cancel = %+v, want none", status.Starved)
+	}
+	if got := reg.Snapshot().Gauges["fleet.starved_tenants"]; got != 0 {
+		t.Errorf("fleet.starved_tenants gauge = %d after cancel, want 0", got)
+	}
+}

@@ -46,15 +46,20 @@ type Options struct {
 	// depth, active campaigns, archive hit/miss counters) and campaign
 	// lifecycle trace events, and enables /debug/telemetry.
 	Telemetry *telemetry.Registry
+	// StarveAfter is the starved-tenant watchdog threshold: a campaign
+	// still queued after this long marks its tenant starved in /v1/status
+	// and the fleet.starved_tenants gauge (default DefaultStarveAfter).
+	StarveAfter time.Duration
 	// Logf, when non-nil, receives service life-cycle log lines.
 	Logf func(format string, args ...any)
 }
 
 // Defaults for Options.
 const (
-	DefaultMaxActive  = 2
-	DefaultMaxQueued  = 16
-	DefaultRetryAfter = time.Second
+	DefaultMaxActive   = 2
+	DefaultMaxQueued   = 16
+	DefaultRetryAfter  = time.Second
+	DefaultStarveAfter = 2 * time.Minute
 )
 
 func (o Options) withDefaults() Options {
@@ -72,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter == 0 {
 		o.RetryAfter = DefaultRetryAfter
+	}
+	if o.StarveAfter == 0 {
+		o.StarveAfter = DefaultStarveAfter
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -103,6 +111,10 @@ type entry struct {
 	state  string
 	cached bool   // done without execution: served from the archive
 	errMsg string // for StateFailed
+	// submitted anchors the starved-tenant watchdog; starveFlagged
+	// dedupes its trace event.
+	submitted     time.Time
+	starveFlagged bool
 
 	// reg is the campaign's own telemetry registry: its coordinator's
 	// cluster.* counters and — for in-process fleet workers — its
@@ -138,6 +150,12 @@ type CampaignStatus struct {
 	Objective string `json:"objective,omitempty"`
 	Attacks   uint64 `json:"attacks,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// TraceID is the campaign's 128-bit trace ID (hex) when span tracing
+	// is on — the correlation key for /v1/campaigns/<id>/trace.
+	TraceID string `json:"traceId,omitempty"`
+	// Stragglers holds the campaign coordinator's current watchdog
+	// verdicts (running campaigns only).
+	Stragglers []cluster.Straggler `json:"stragglers,omitempty"`
 	// Telemetry is the campaign's own registry snapshot — per-campaign
 	// cluster and engine counters, not process globals.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
@@ -171,6 +189,7 @@ type Service struct {
 	telSubmitted  *telemetry.Counter
 	telHits       *telemetry.Counter
 	telMisses     *telemetry.Counter
+	telStarved    *telemetry.Gauge
 }
 
 // New opens the result archive and returns a ready-to-serve Service.
@@ -194,6 +213,7 @@ func New(opts Options) (*Service, error) {
 	s.telSubmitted = reg.Counter("service.submissions")
 	s.telHits = reg.Counter("service.archive_hits")
 	s.telMisses = reg.Counter("service.archive_misses")
+	s.telStarved = reg.Gauge("fleet.starved_tenants")
 	return s, nil
 }
 
@@ -224,6 +244,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/heartbeat", s.routeWorker)
 	mux.HandleFunc("/v1/leave", s.routeWorker)
 	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.opts.Telemetry != nil {
 		mux.HandleFunc("/debug/telemetry", s.handleTelemetry)
 	}
@@ -308,15 +329,24 @@ func (s *Service) submit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.statusLocked(e, false))
 		return
 	}
+	// Submissions minted before span tracing (or with a degraded zero ID)
+	// get a trace ID here: the service is the campaign's entry point, so
+	// this is where the fleet-wide correlation key is fixed. The ID never
+	// feeds the identity hash (invariant 15), so stamping it cannot
+	// change which archive entry the campaign maps to.
+	if spec.TraceID.IsZero() {
+		spec.TraceID = telemetry.NewTraceID()
+	}
 	e := &entry{
-		id:     spec.Identity,
-		idHex:  hex.EncodeToString(spec.Identity[:]),
-		tenant: tenant,
-		spec:   spec,
-		state:  StateQueued,
-		reg:    telemetry.New(),
-		intr:   make(chan struct{}),
-		done:   make(chan struct{}),
+		id:        spec.Identity,
+		idHex:     hex.EncodeToString(spec.Identity[:]),
+		tenant:    tenant,
+		spec:      spec,
+		state:     StateQueued,
+		reg:       telemetry.New(),
+		intr:      make(chan struct{}),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
 	}
 	if s.store != nil {
 		if report, hit := s.store.Get(spec.Identity); hit {
@@ -414,6 +444,27 @@ func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.cancel(w, e)
+	case "trace":
+		if !cluster.RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.mu.Lock()
+		coord := e.coord
+		s.mu.Unlock()
+		if coord == nil || coord.TraceID().IsZero() {
+			// Cached or never-started campaigns executed nothing, so there
+			// is no timeline to serve.
+			http.Error(w, "service: no trace for this campaign", http.StatusNotFound)
+			return
+		}
+		spans, _ := coord.Timeline()
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			telemetry.WriteSpansJSONL(w, coord.TraceID(), spans)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WriteChromeTrace(w, coord.TraceID(), spans)
 	default:
 		http.Error(w, "service: unknown campaign endpoint", http.StatusNotFound)
 	}
@@ -456,6 +507,9 @@ func (s *Service) statusLocked(e *entry, withTelemetry bool) CampaignStatus {
 		Objective: e.spec.Objective,
 		Error:     e.errMsg,
 	}
+	if !e.spec.TraceID.IsZero() {
+		st.TraceID = e.spec.TraceID.String()
+	}
 	switch {
 	case e.state == StateDone:
 		st.Done = st.Total
@@ -466,6 +520,7 @@ func (s *Service) statusLocked(e *entry, withTelemetry bool) CampaignStatus {
 		snap := e.coord.Snapshot()
 		st.Done = snap.Done
 		st.Attacks = snap.Attacks
+		st.Stragglers = snap.Stragglers
 	}
 	if withTelemetry {
 		snap := e.reg.Snapshot()
@@ -526,6 +581,9 @@ func (s *Service) runCampaign(e *entry) {
 		MaxGoldenCycles: e.spec.MaxGoldenCycles,
 		Interrupt:       e.intr,
 		Telemetry:       e.reg,
+		// The submission's trace ID flows through to the coordinator so
+		// every fleet span of this campaign correlates with it.
+		TraceID: e.spec.TraceID,
 	}, nil)
 	if err != nil {
 		s.mu.Lock()
@@ -743,6 +801,71 @@ func peekIdentity(body []byte) ([32]byte, bool) {
 
 // --- observability -------------------------------------------------------
 
+// StarvedTenant is one starved-tenant watchdog verdict: a campaign
+// still queued after Options.StarveAfter. Complements the per-campaign
+// straggler watchdog (cluster.Straggler) one level up: stragglers catch
+// a stalling fleet member, starvation catches a tenant whose work never
+// reaches the fleet at all.
+type StarvedTenant struct {
+	Tenant     string  `json:"tenant"`
+	CampaignID string  `json:"campaignId"`
+	WaitingMs  float64 `json:"waitingMs"`
+}
+
+// starvedLocked computes the current starvation verdicts, emits one
+// trace event per newly starved campaign and keeps the
+// fleet.starved_tenants gauge current.
+func (s *Service) starvedLocked() []StarvedTenant {
+	now := time.Now()
+	var out []StarvedTenant
+	tenants := make(map[string]bool)
+	for _, tenant := range s.ring {
+		for _, e := range s.queues[tenant] {
+			wait := now.Sub(e.submitted)
+			if wait <= s.opts.StarveAfter {
+				continue
+			}
+			out = append(out, StarvedTenant{
+				Tenant:     tenant,
+				CampaignID: e.idHex,
+				WaitingMs:  float64(wait) / float64(time.Millisecond),
+			})
+			tenants[tenant] = true
+			if !e.starveFlagged {
+				e.starveFlagged = true
+				s.opts.Telemetry.Tracef("watchdog.starved_tenant", "%s: campaign %s queued %s",
+					tenant, e.idHex[:12], wait.Round(time.Second))
+			}
+		}
+	}
+	s.telStarved.Set(int64(len(tenants)))
+	return out
+}
+
+// handleMetrics serves the Prometheus text exposition: the service
+// registry plus one labelled set per campaign (campaign id prefix and
+// tenant), so per-campaign scan/cluster counters stay distinguishable
+// after scraping.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !cluster.RequireMethod(w, r, http.MethodGet) {
+		return
+	}
+	var sets []telemetry.MetricSet
+	if s.opts.Telemetry != nil {
+		sets = append(sets, telemetry.MetricSet{Snap: s.opts.Telemetry.Snapshot()})
+	}
+	s.mu.Lock()
+	for _, e := range s.order {
+		sets = append(sets, telemetry.MetricSet{
+			Labels: map[string]string{"campaign": e.idHex[:12], "tenant": e.tenant},
+			Snap:   e.reg.Snapshot(),
+		})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheusSets(w, sets)
+}
+
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !cluster.RequireMethod(w, r, http.MethodGet) {
 		return
@@ -753,7 +876,10 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Queued    int              `json:"queued"`
 		Active    int              `json:"active"`
 		Draining  bool             `json:"draining,omitempty"`
-		Archive   *struct {
+		// Starved holds the starved-tenant watchdog verdicts: queued
+		// campaigns waiting longer than Options.StarveAfter.
+		Starved []StarvedTenant `json:"starvedTenants,omitempty"`
+		Archive *struct {
 			Entries int    `json:"entries"`
 			Bytes   int64  `json:"bytes"`
 			Evicted uint64 `json:"evicted"`
@@ -764,6 +890,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Active:   len(s.active),
 		Draining: s.draining,
 	}
+	resp.Starved = s.starvedLocked()
 	for _, e := range s.order {
 		// Per-campaign snapshots keep every campaign's scan/memo/cluster
 		// counters isolated — /v1/status never mixes campaigns into one
@@ -792,10 +919,11 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 	reg := s.opts.Telemetry
 	resp := struct {
-		Telemetry     telemetry.Snapshot            `json:"telemetry"`
-		Campaigns     map[string]telemetry.Snapshot `json:"campaigns,omitempty"`
-		Events        []telemetry.Event             `json:"events,omitempty"`
-		EventsDropped uint64                        `json:"events_dropped,omitempty"`
+		Telemetry      telemetry.Snapshot            `json:"telemetry"`
+		Campaigns      map[string]telemetry.Snapshot `json:"campaigns,omitempty"`
+		Events         []telemetry.Event             `json:"events,omitempty"`
+		EventsDropped  uint64                        `json:"events_dropped,omitempty"`
+		EventsCapacity int                           `json:"events_capacity,omitempty"`
 	}{Telemetry: reg.Snapshot()}
 	s.mu.Lock()
 	if len(s.order) > 0 {
@@ -808,6 +936,7 @@ func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if tr := reg.Tracer(); tr != nil {
 		resp.Events = tr.Events()
 		resp.EventsDropped = tr.Dropped()
+		resp.EventsCapacity = tr.Cap()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -33,9 +33,18 @@ type Manifest struct {
 	// Telemetry is the final instrument snapshot.
 	Telemetry Snapshot `json:"telemetry"`
 	// Events are the retained trace events, oldest first; EventsDropped
-	// counts older events the ring buffer evicted.
-	Events        []Event `json:"events,omitempty"`
-	EventsDropped uint64  `json:"events_dropped,omitempty"`
+	// counts older events the ring buffer evicted and EventsCapacity the
+	// ring size, so a truncated trace is self-describing.
+	Events         []Event `json:"events,omitempty"`
+	EventsDropped  uint64  `json:"events_dropped,omitempty"`
+	EventsCapacity int     `json:"events_capacity,omitempty"`
+	// TraceID and Spans are the run's span timeline when span tracing
+	// was enabled (favscan -trace); SpansDropped/SpansCapacity describe
+	// truncation the same way the event fields do.
+	TraceID       string `json:"trace_id,omitempty"`
+	Spans         []Span `json:"spans,omitempty"`
+	SpansDropped  uint64 `json:"spans_dropped,omitempty"`
+	SpansCapacity int    `json:"spans_capacity,omitempty"`
 }
 
 // Finish stamps the manifest with the registry's final snapshot, trace
@@ -48,6 +57,13 @@ func (m *Manifest) Finish(r *Registry) {
 	if tr := r.Tracer(); tr != nil {
 		m.Events = tr.Events()
 		m.EventsDropped = tr.Dropped()
+		m.EventsCapacity = tr.Cap()
+	}
+	if rec := r.SpanRecorder(); rec != nil {
+		m.TraceID = rec.TraceID().String()
+		m.Spans = rec.Spans()
+		m.SpansDropped = rec.Dropped()
+		m.SpansCapacity = rec.Cap()
 	}
 }
 

@@ -1,0 +1,343 @@
+// Package promtest implements a validating parser for the Prometheus
+// text exposition format (version 0.0.4), used by tests to prove the
+// /metrics surfaces emit grammatically correct output. It is a checker,
+// not a scrape client: it enforces the line grammar, name and label
+// syntax, TYPE declarations, and histogram-series consistency
+// (monotone cumulative buckets, mandatory +Inf equal to _count).
+package promtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Document is the parsed form of one exposition payload.
+type Document struct {
+	Types   map[string]string // metric name → counter|gauge|histogram|summary|untyped
+	Samples []Sample
+}
+
+// Validate parses and validates an exposition payload, returning the
+// parsed document or the first grammar violation.
+func Validate(payload []byte) (*Document, error) {
+	doc := &Document{Types: make(map[string]string)}
+	sampled := make(map[string]bool) // base names that already emitted samples
+	for i, line := range strings.Split(string(payload), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(doc, sampled, line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sampled[baseName(doc, s.Name)] = true
+		doc.Samples = append(doc.Samples, s)
+	}
+	if err := doc.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func parseComment(doc *Document, sampled map[string]bool, line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, kind := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", kind)
+		}
+		if _, dup := doc.Types[name]; dup {
+			return fmt.Errorf("duplicate TYPE line for %q", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE line for %q after its samples", name)
+		}
+		doc.Types[name] = kind
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: make(map[string]string)}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		nameEnd = sp
+	}
+	s.Name = rest[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// Value, optionally followed by a timestamp.
+	valStr := rest
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		valStr = rest[:sp]
+		ts := strings.TrimSpace(rest[sp:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp %q", line, ts)
+		}
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at in[0] == '{' and
+// returns the index one past the closing brace.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		name := in[i : i+eq]
+		if !validLabelName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\', '"':
+					val.WriteByte(in[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: invalid escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '\n' {
+				return 0, fmt.Errorf("label %s: raw newline in value", name)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// baseName strips the histogram/summary series suffixes so TYPE lookups
+// and ordering checks treat name_bucket/_sum/_count as samples of name.
+func baseName(doc *Document, name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if kind, ok := doc.Types[base]; ok && (kind == "histogram" || kind == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// checkHistograms verifies every declared histogram's series shape: a
+// le-labelled _bucket family with nondecreasing cumulative counts, a
+// mandatory le="+Inf" bucket, and _count equal to the +Inf bucket, per
+// label set.
+func (d *Document) checkHistograms() error {
+	type family struct {
+		buckets map[string][]Sample // label-fingerprint (sans le) → buckets
+		counts  map[string]float64
+		sums    map[string]bool
+	}
+	fams := make(map[string]*family)
+	for name, kind := range d.Types {
+		if kind == "histogram" {
+			fams[name] = &family{
+				buckets: map[string][]Sample{},
+				counts:  map[string]float64{},
+				sums:    map[string]bool{},
+			}
+		}
+	}
+	fingerprint := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range d.Samples {
+		for name, fam := range fams {
+			switch s.Name {
+			case name + "_bucket":
+				if _, ok := s.Labels["le"]; !ok {
+					return fmt.Errorf("histogram %s: _bucket sample without le label", name)
+				}
+				fp := fingerprint(s.Labels)
+				fam.buckets[fp] = append(fam.buckets[fp], s)
+			case name + "_count":
+				fam.counts[fingerprint(s.Labels)] = s.Value
+			case name + "_sum":
+				fam.sums[fingerprint(s.Labels)] = true
+			}
+		}
+	}
+	for name, fam := range fams {
+		for fp, buckets := range fam.buckets {
+			prev := -1.0
+			var inf *Sample
+			for i := range buckets {
+				b := buckets[i]
+				le := b.Labels["le"]
+				if le == "+Inf" {
+					inf = &buckets[i]
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", name, le)
+				}
+				if b.Value < prev {
+					return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative (%g after %g)", name, fp, b.Value, prev)
+				}
+				prev = b.Value
+			}
+			if inf == nil {
+				return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", name, fp)
+			}
+			count, ok := fam.counts[fp]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s}: missing _count series", name, fp)
+			}
+			if inf.Value != count {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", name, fp, inf.Value, count)
+			}
+			if !fam.sums[fp] {
+				return fmt.Errorf("histogram %s{%s}: missing _sum series", name, fp)
+			}
+		}
+	}
+	return nil
+}

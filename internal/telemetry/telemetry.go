@@ -48,6 +48,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	tracer     *Tracer
+	spans      *SpanRecorder
 }
 
 // New creates an empty enabled registry.
@@ -245,12 +246,67 @@ type Snapshot struct {
 
 // HistogramSnapshot is the exported state of one Histogram. Bucket
 // upper bounds are in microseconds; only non-empty buckets appear.
+// P50Ns/P95Ns/P99Ns are quantile estimates interpolated from the
+// exponential buckets (see Quantile) — estimates, not exact order
+// statistics, but within one power-of-two bucket of the truth.
 type HistogramSnapshot struct {
 	Count   uint64   `json:"count"`
 	SumNs   int64    `json:"sum_ns"`
 	MinNs   int64    `json:"min_ns"`
 	MaxNs   int64    `json:"max_ns"`
+	P50Ns   int64    `json:"p50_ns,omitempty"`
+	P95Ns   int64    `json:"p95_ns,omitempty"`
+	P99Ns   int64    `json:"p99_ns,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in nanoseconds by
+// linear interpolation inside the exponential bucket holding the rank.
+// Bucket i spans [2^(i-1), 2^i) microseconds, so the estimate is off by
+// at most the bucket width; Min/Max clamp the first and last buckets to
+// the observed extremes. Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(s.MinNs)
+	}
+	if q >= 1 {
+		return time.Duration(s.MaxNs)
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) < rank {
+			continue
+		}
+		// Bucket bounds in nanoseconds: LeUs is the exclusive upper bound
+		// in µs; the lower bound is the previous power of two (0 for the
+		// first bucket, where sub-µs observations land). The unbounded
+		// overflow bucket (LeUs == 0) tops out at the observed max.
+		lower, upper := float64(0), float64(s.MaxNs)
+		if b.LeUs > 1 {
+			lower = float64(b.LeUs) / 2 * 1e3
+		}
+		if b.LeUs > 0 {
+			upper = float64(b.LeUs) * 1e3
+		}
+		if lower < float64(s.MinNs) {
+			lower = float64(s.MinNs)
+		}
+		if upper > float64(s.MaxNs) {
+			upper = float64(s.MaxNs)
+		}
+		if upper < lower {
+			upper = lower
+		}
+		pos := (rank - float64(prev)) / float64(b.Count)
+		return time.Duration(lower + pos*(upper-lower))
+	}
+	return time.Duration(s.MaxNs)
 }
 
 // Bucket is one non-empty histogram bucket: N observations with
@@ -282,6 +338,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, b)
 	}
+	s.P50Ns = int64(s.Quantile(0.50))
+	s.P95Ns = int64(s.Quantile(0.95))
+	s.P99Ns = int64(s.Quantile(0.99))
 	return s
 }
 

@@ -71,6 +71,20 @@ func TestDisabledPathAllocFree(t *testing.T) {
 		r.Histogram("h").Observe(time.Millisecond)
 		r.Trace("event", "detail")
 		r.Tracer().Emit("event", "detail")
+		// The span layer honors the same contract: a nil recorder's Start
+		// returns the inert zero ActiveSpan (no clock read), and every
+		// other method is a single-branch no-op.
+		rec := r.SpanRecorder()
+		sp := rec.Start("scan.run")
+		if sp.Live() {
+			t.Fatal("nil recorder span must not be live")
+		}
+		sp.End("detail")
+		rec.Record("x", "", time.Time{}, 0)
+		rec.Add(Span{})
+		_ = rec.Drain()
+		_ = rec.Dropped()
+		_ = rec.Spans()
 	}); n != 0 {
 		t.Errorf("disabled telemetry path allocates %.1f times per op, want 0", n)
 	}

@@ -73,6 +73,16 @@ func (t *Tracer) Emitf(name, format string, args ...any) {
 	t.Emit(name, fmt.Sprintf(format, args...))
 }
 
+// Cap returns the ring's retention capacity (0 on nil). Exported
+// alongside Dropped so truncated traces are self-describing: a reader
+// seeing Dropped > 0 knows exactly how big the window was.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
 // Dropped returns how many events the ring has evicted.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {

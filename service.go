@@ -34,6 +34,10 @@ type CampaignServiceOptions struct {
 	// UnitSize and LeaseTTL parameterize each campaign's coordinator.
 	UnitSize int
 	LeaseTTL time.Duration
+	// StarveAfter is the starved-tenant watchdog threshold: a campaign
+	// still queued this long flags its tenant in /v1/status, the trace
+	// stream and the fleet.starved_tenants gauge (default 2m).
+	StarveAfter time.Duration
 	// LocalWorkers starts this many in-process fleet workers against the
 	// service's own address, so a single favserve process can execute
 	// campaigns without external workers joining.
@@ -98,6 +102,7 @@ func ServeCampaigns(addr string, opts CampaignServiceOptions) error {
 		MaxQueued:       opts.MaxQueued,
 		UnitSize:        opts.UnitSize,
 		LeaseTTL:        opts.LeaseTTL,
+		StarveAfter:     opts.StarveAfter,
 		Telemetry:       opts.Telemetry,
 		Logf:            opts.Logf,
 	})
